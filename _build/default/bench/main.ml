@@ -1,0 +1,159 @@
+(** Benchmark harness: one Bechamel test per paper artifact (Tables I
+    and II, Figure 3, the dataset statistics, the negative bomb), plus
+    ablation benches for the design choices DESIGN.md calls out
+    (memory model, taint filter, solver stack, library loading).
+
+    Absolute times are machine-local; the interesting outputs are the
+    relative costs (e.g. the indexed memory model vs concretization,
+    printf's constraint blow-up) — the *shapes* the paper reports. *)
+
+open Bechamel
+open Toolkit
+
+(* ---------------- workloads ---------------- *)
+
+let bomb name = Bombs.Catalog.find name
+
+let trace_of ?(argv1 = "5") b =
+  let config = Bombs.Common.config_for b argv1 in
+  Trace.record ~config (Bombs.Catalog.image b)
+
+(* Table I: static taxonomy rendering (trivially cheap; included for
+   completeness of the per-table index) *)
+let bench_table1 =
+  Test.make ~name:"table1/render"
+    (Staged.stage (fun () -> ignore (Engines.Eval.render_table1 ())))
+
+(* Table II: one representative cell per engine class *)
+let bench_cell_bap =
+  Test.make ~name:"table2/cell_bap_stack"
+    (Staged.stage (fun () ->
+         ignore (Engines.Grade.run_cell Engines.Profile.Bap (bomb "stack_bomb"))))
+
+let bench_cell_triton =
+  Test.make ~name:"table2/cell_triton_stack"
+    (Staged.stage (fun () ->
+         ignore
+           (Engines.Grade.run_cell Engines.Profile.Triton (bomb "stack_bomb"))))
+
+let bench_cell_angr =
+  Test.make ~name:"table2/cell_angr_array1"
+    (Staged.stage (fun () ->
+         ignore
+           (Engines.Grade.run_cell Engines.Profile.Angr (bomb "array1_bomb"))))
+
+(* Figure 3: taint analysis with and without printf *)
+let bench_fig3_noprint =
+  let t = trace_of ~argv1:"7" (bomb "fig3_noprint") in
+  let addr, len = Trace.argv_region t 1 in
+  Test.make ~name:"fig3/taint_noprint"
+    (Staged.stage (fun () ->
+         ignore (Taint.analyze ~sources:[ (addr, len - 1) ] t.events)))
+
+let bench_fig3_print =
+  let t = trace_of ~argv1:"7" (bomb "fig3_print") in
+  let addr, len = Trace.argv_region t 1 in
+  Test.make ~name:"fig3/taint_print"
+    (Staged.stage (fun () ->
+         ignore (Taint.analyze ~sources:[ (addr, len - 1) ] t.events)))
+
+(* Dataset statistics: linking a bomb (the binary-size measurement) *)
+let bench_sizes =
+  Test.make ~name:"sizes/link_and_measure"
+    (Staged.stage (fun () ->
+         let img = Bombs.Common.link (bomb "array1_bomb") in
+         ignore (Asm.Image.size img)))
+
+(* Negative bomb: the NoLib claim pipeline *)
+let bench_negative =
+  Test.make ~name:"negative/angr_nolib"
+    (Staged.stage (fun () ->
+         ignore
+           (Engines.Grade.run_cell Engines.Profile.Angr_nolib
+              (bomb "negative_bomb"))))
+
+(* ---------------- ablations ---------------- *)
+
+(* memory model: concrete-only vs indexed window on the array bomb *)
+let bench_mem_concrete =
+  let t = trace_of ~argv1:"5" (bomb "array1_bomb") in
+  Test.make ~name:"ablation/mem_concrete_only"
+    (Staged.stage (fun () ->
+         ignore
+           (Concolic.Trace_exec.run Concolic.Trace_exec.bap_like_config t)))
+
+let bench_mem_indexed =
+  let t = trace_of ~argv1:"5" (bomb "array1_bomb") in
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with
+      mem_mode = Concolic.Sym_exec.Indexed { window = 32; max_depth = 1 } }
+  in
+  Test.make ~name:"ablation/mem_indexed"
+    (Staged.stage (fun () -> ignore (Concolic.Trace_exec.run cfg t)))
+
+(* solver stack: simplifier-only vs full bit-blasting *)
+let solver_constraints =
+  let x = Smt.Expr.var ~width:32 "x" in
+  [ Smt.Expr.eq
+      (Smt.Expr.Binop (Mul, x, Smt.Expr.const ~width:32 3L))
+      (Smt.Expr.const ~width:32 51L) ]
+
+let bench_solver_simplify =
+  Test.make ~name:"ablation/solver_simplify_only"
+    (Staged.stage (fun () ->
+         ignore (List.map Smt.Simplify.run solver_constraints)))
+
+let bench_solver_blast =
+  Test.make ~name:"ablation/solver_bitblast"
+    (Staged.stage (fun () ->
+         ignore (Smt.Solver.solve solver_constraints)))
+
+(* taint filter over a crypto trace *)
+let bench_taint_sha1 =
+  let t = trace_of ~argv1:"abc" (bomb "sha1_bomb") in
+  let addr, len = Trace.argv_region t 1 in
+  Test.make ~name:"ablation/taint_sha1_trace"
+    (Staged.stage (fun () ->
+         ignore (Taint.analyze ~sources:[ (addr, len - 1) ] t.events)))
+
+(* lib loading: DSE with and without summaries on the sin bomb *)
+let bench_dse_with_libs =
+  Test.make ~name:"ablation/dse_sin_with_libs"
+    (Staged.stage (fun () ->
+         let config = Concolic.Dse.default_config Concolic.Dse.With_libs in
+         ignore
+           (Concolic.Dse.explore config (Bombs.Catalog.image (bomb "sin_bomb")))))
+
+let bench_dse_no_libs =
+  Test.make ~name:"ablation/dse_sin_no_libs"
+    (Staged.stage (fun () ->
+         let config = Concolic.Dse.default_config Concolic.Dse.No_libs in
+         ignore
+           (Concolic.Dse.explore config (Bombs.Catalog.image (bomb "sin_bomb")))))
+
+let benchmarks =
+  [ bench_table1; bench_cell_bap; bench_cell_triton; bench_cell_angr;
+    bench_fig3_noprint; bench_fig3_print; bench_sizes; bench_negative;
+    bench_mem_concrete; bench_mem_indexed; bench_solver_simplify;
+    bench_solver_blast; bench_taint_sha1; bench_dse_with_libs;
+    bench_dse_no_libs ]
+
+let () =
+  let cfg = Benchmark.cfg ~limit:6 ~quota:(Time.second 1.5) () in
+  let instances = Instance.[ monotonic_clock ] in
+  Printf.printf "%-36s %14s %10s\n" "benchmark" "time/run" "runs";
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg instances test in
+       Hashtbl.iter
+         (fun name (b : Benchmark.t) ->
+            let last = b.lr.(Array.length b.lr - 1) in
+            let runs = Measurement_raw.run last in
+            let time =
+              Measurement_raw.get
+                ~label:(Measure.label Instance.monotonic_clock) last
+            in
+            Printf.printf "%-36s %11.3f ms %10.0f\n" name
+              (time /. runs /. 1e6) runs)
+         results)
+    benchmarks

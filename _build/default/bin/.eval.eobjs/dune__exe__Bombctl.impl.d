@@ -1,0 +1,1 @@
+bin/bombctl.ml: Arg Array Asm Bombs Cmd Cmdliner Fmt Int64 Isa List Printf Term Trace Vm

@@ -1,0 +1,1 @@
+bin/eval.ml: Arg Asm Bombs Cmd Cmdliner Engines List Printf String Term

@@ -1,0 +1,103 @@
+(** Evaluation CLI: regenerate the paper's tables and figures.
+
+    Subcommands: [table1], [table2], [fig3], [sizes], [negative],
+    [all]. *)
+
+let run_table2 tools_filter bombs_filter =
+  let tools =
+    match tools_filter with
+    | [] -> Engines.Profile.all
+    | names ->
+      List.filter
+        (fun t -> List.mem (String.lowercase_ascii (Engines.Profile.name t))
+            (List.map String.lowercase_ascii names))
+        Engines.Profile.all
+  in
+  let bombs =
+    match bombs_filter with
+    | [] -> Bombs.Catalog.table2
+    | names -> List.map Bombs.Catalog.find names
+  in
+  let r = Engines.Eval.run_table2 ~tools ~bombs () in
+  print_string (Engines.Eval.render_table2 r)
+
+let run_fig3 () =
+  let r = Engines.Eval.run_fig3 () in
+  Printf.printf
+    "Figure 3 (argv[1] = 7):\n\
+    \  printing disabled: %d instructions propagate the symbolic value\n\
+    \  printing enabled:  %d instructions (+%d), symbolic branches %d -> %d\n"
+    r.noprint_tainted r.print_tainted
+    (r.print_tainted - r.noprint_tainted)
+    r.noprint_branches r.print_branches
+
+let run_sizes () =
+  let lo, median, hi = Bombs.Catalog.size_stats () in
+  Printf.printf
+    "dataset: %d bombs, binary sizes [%d .. %d] bytes, median %d\n"
+    (List.length Bombs.Catalog.table2) lo hi median;
+  List.iter
+    (fun (b : Bombs.Common.t) ->
+       Printf.printf "  %-18s %6d bytes  (%s)\n" b.name
+         (Asm.Image.size (Bombs.Catalog.image b))
+         b.category)
+    Bombs.Catalog.table2
+
+let run_negative () =
+  let results = Engines.Eval.run_negative () in
+  List.iter
+    (fun (r : Engines.Eval.negative_result) ->
+       Printf.printf
+         "%-12s claimed the dead bomb: %b (detonated: %b)\n"
+         (Engines.Profile.name r.tool) r.claimed r.detonated)
+    results
+
+let run_table1 () = print_string (Engines.Eval.render_table1 ())
+
+open Cmdliner
+
+let tools_arg =
+  Arg.(value & opt_all string [] & info [ "tool" ] ~doc:"Restrict to a tool")
+
+let bombs_arg =
+  Arg.(value & opt_all string [] & info [ "bomb" ] ~doc:"Restrict to a bomb")
+
+let table2_cmd =
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II")
+    Term.(const run_table2 $ tools_arg $ bombs_arg)
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
+    Term.(const run_table1 $ const ())
+
+let fig3_cmd =
+  Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3")
+    Term.(const run_fig3 $ const ())
+
+let sizes_cmd =
+  Cmd.v (Cmd.info "sizes" ~doc:"Dataset binary-size statistics (§V-A)")
+    Term.(const run_sizes $ const ())
+
+let negative_cmd =
+  Cmd.v (Cmd.info "negative" ~doc:"Negative-bomb false-positive check (§V-C)")
+    Term.(const run_negative $ const ())
+
+let all_cmd =
+  let run () =
+    run_table1 ();
+    print_newline ();
+    run_sizes ();
+    print_newline ();
+    run_table2 [] [];
+    print_newline ();
+    run_fig3 ();
+    print_newline ();
+    run_negative ()
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Everything") Term.(const run $ const ())
+
+let () =
+  let info = Cmd.info "eval" ~doc:"Logic-bomb evaluation harness" in
+  exit (Cmd.eval (Cmd.group info
+                    [ table1_cmd; table2_cmd; fig3_cmd; sizes_cmd;
+                      negative_cmd; all_cmd ]))

@@ -1,0 +1,1 @@
+examples/crackme.ml: Asm Char Concolic Fmt Ir Isa Libc Option String Taint Vm

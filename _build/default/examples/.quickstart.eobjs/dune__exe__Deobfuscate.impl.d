@@ -1,0 +1,1 @@
+examples/deobfuscate.ml: Array Asm Concolic Fmt Ir Isa Libc List Smt Trace Vm

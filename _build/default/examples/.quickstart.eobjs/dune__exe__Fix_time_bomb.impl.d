@@ -1,0 +1,1 @@
+examples/fix_time_bomb.ml: Bombs Concolic Fmt List Smt Trace Vm

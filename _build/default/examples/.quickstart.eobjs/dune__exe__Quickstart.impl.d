@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asm Buffer Char Concolic Fmt Int64 Ir Isa Libc List Option Printf Smt Taint Trace Vm

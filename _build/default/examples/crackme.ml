@@ -1,0 +1,115 @@
+(** CTF-style crackme solved by the full concolic loop.
+
+    The serial check mixes per-character arithmetic, a running
+    checksum, and an early length gate — several coupled branches, so
+    one negate-and-solve is not enough and the generational search of
+    {!Concolic.Driver} has to iterate. *)
+
+open Asm.Ast.Dsl
+open Isa.Insn
+open Isa.Reg
+
+(* serial rules, checked in sequence:
+     strlen(s) == 5
+     s[0] == 'V'
+     s[1] == s[4]                (first inner char mirrors the last)
+     (s[2] - '0') * 2 == s[3] - '0'   (digit doubling)
+     s[1] + s[2] + s[3] == 0x??       (checksum)
+   one valid serial: "VX24X"  (with checksum tuned to match) *)
+let serial = "VX24X"
+
+let checksum =
+  Char.code serial.[1] + Char.code serial.[2] + Char.code serial.[3]
+
+let crackme : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~data:[ label "ok_msg"; asciz "serial accepted" ]
+    [ label "main";
+      cmp rdi (imm 2);
+      jl ".fail";
+      mov rbx (mreg ~disp:8 RSI);
+      (* length gate *)
+      mov rdi rbx;
+      call "strlen";
+      cmp rax (imm 5);
+      jne ".fail";
+      (* s[0] == 'V' *)
+      movzx rax ~sw:W8 (mreg RBX);
+      cmp rax (imm (Char.code 'V'));
+      jne ".fail";
+      (* s[1] == s[4] *)
+      movzx rax ~sw:W8 (mreg ~disp:1 RBX);
+      movzx rcx ~sw:W8 (mreg ~disp:4 RBX);
+      cmp rax rcx;
+      jne ".fail";
+      (* (s[2]-'0')*2 == s[3]-'0' *)
+      movzx rax ~sw:W8 (mreg ~disp:2 RBX);
+      sub rax (imm (Char.code '0'));
+      imul rax (imm 2);
+      movzx rcx ~sw:W8 (mreg ~disp:3 RBX);
+      sub rcx (imm (Char.code '0'));
+      cmp rax rcx;
+      jne ".fail";
+      (* checksum *)
+      movzx rax ~sw:W8 (mreg ~disp:1 RBX);
+      movzx rcx ~sw:W8 (mreg ~disp:2 RBX);
+      add rax rcx;
+      movzx rcx ~sw:W8 (mreg ~disp:3 RBX);
+      add rax rcx;
+      cmp rax (imm checksum);
+      jne ".fail";
+      lea rdi "ok_msg";
+      call "puts";
+      mov rax (imm 0);
+      ret;
+      label ".fail";
+      mov rax (imm 1);
+      ret ]
+
+let () =
+  let image = Libc.Runtime.link_with_libs crackme in
+  Fmt.pr "crackme image: %d bytes; known serial %S (not told to the engine)@."
+    (Asm.Image.size image) serial;
+  (* a fully-featured engine config: FP lifting, kernel-following
+     taint, indexed memory — "what a tool could be" *)
+  let trace_cfg =
+    { Concolic.Trace_exec.bap_like_config with
+      features = Ir.Lifter.full;
+      lift_stack_ops = true;
+      taint_policy = Taint.full_policy;
+      mem_mode = Concolic.Sym_exec.Indexed { window = 64; max_depth = 2 } }
+  in
+  let config =
+    { (Concolic.Driver.default_config trace_cfg) with
+      argv = Concolic.Driver.Wide 8;
+      max_iterations = 64 }
+  in
+  let target =
+    { Concolic.Driver.image;
+      run_config =
+        (fun input ->
+           { Vm.Machine.default_config with argv = [ "crackme"; input ] });
+      detonated =
+        (fun res ->
+           (* success = the acceptance message *)
+           let needle = "serial accepted" in
+           let h = res.stdout and n = needle in
+           let hl = String.length h and nl = String.length n in
+           let rec scan i =
+             i + nl <= hl && (String.sub h i nl = n || scan (i + 1))
+           in
+           scan 0) }
+  in
+  match Concolic.Driver.explore ~seed:"AAAAA" config target with
+  | { solved_input = Some input; iterations; traces_run; _ } ->
+    Fmt.pr "cracked in %d iterations (%d traces): %S@." iterations traces_run
+      input;
+    let res =
+      Vm.Machine.run_image
+        ~config:{ Vm.Machine.default_config with argv = [ "crackme"; input ] }
+        image
+    in
+    Fmt.pr "verification run: %S (exit %d)@." res.stdout
+      (Option.value ~default:(-1) res.exit_code)
+  | { solved_input = None; iterations; _ } ->
+    Fmt.pr "not cracked after %d iterations@." iterations

@@ -1,0 +1,83 @@
+(** Opaque-predicate detection — the paper's second application
+    scenario (§V-D2).
+
+    An obfuscator guards bogus code behind predicates that are
+    constant in fact but look input-dependent (here: [x*(x+1) mod 2
+    == 0], always true over the integers).  Concolic execution
+    detects them: a conditional whose negation is UNSAT under the
+    path prefix is opaque, and its untaken side is dead code. *)
+
+open Asm.Ast.Dsl
+
+(* main with two opaque predicates and one genuine branch *)
+let obfuscated : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~data:[ label "real_msg"; asciz "real behaviour";
+            label "decoy_msg"; asciz "bogus branch!" ]
+    [ label "main";
+      cmp rdi (imm 2);
+      jl ".out";
+      mov rbx (mreg ~disp:8 Isa.Reg.RSI);
+      mov rdi rbx;
+      call "atoi";
+      mov r12 rax;
+      (* opaque 1: x * (x + 1) is always even *)
+      mov rcx r12;
+      add rcx (imm 1);
+      imul rcx r12;
+      and_ rcx (imm 1);
+      test rcx rcx;
+      jne ".bogus1";                    (* never taken *)
+      (* opaque 2: (x | 1) is always odd *)
+      mov rcx r12;
+      or_ rcx (imm 1);
+      and_ rcx (imm 1);
+      cmp rcx (imm 1);
+      jne ".bogus2";                    (* never taken *)
+      (* genuine input-dependent branch *)
+      cmp r12 (imm 1000);
+      jg ".big";
+      lea rdi "real_msg";
+      call "puts";
+      label ".out";
+      mov rax (imm 0);
+      ret;
+      label ".big";
+      mov rax (imm 2);
+      ret;
+      label ".bogus1";
+      lea rdi "decoy_msg";
+      call "puts";
+      jmp ".out";
+      label ".bogus2";
+      lea rdi "decoy_msg";
+      call "puts";
+      jmp ".out" ]
+
+let () =
+  let image = Libc.Runtime.link_with_libs obfuscated in
+  let config = { Vm.Machine.default_config with argv = [ "obf"; "7" ] } in
+  let trace = Trace.record ~config image in
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with
+      features = Ir.Lifter.full;
+      lift_stack_ops = true }
+  in
+  let path = Concolic.Trace_exec.run cfg trace in
+  let ordered = Array.of_list path.constraints in
+  Fmt.pr "trace has %d symbolic branches; probing each for opacity@.@."
+    (List.length path.branches);
+  List.iter
+    (fun (b : Concolic.Trace_exec.branch) ->
+       let prefix =
+         Array.to_list (Array.sub ordered 0 b.seq) |> List.map fst
+       in
+       let verdict =
+         match Smt.Solver.solve (prefix @ [ Smt.Expr.not_ b.cond ]) with
+         | Smt.Solver.Unsat ->
+           "OPAQUE  (negation unsat: the other side is dead code)"
+         | Smt.Solver.Sat _ -> "genuine (both sides reachable)"
+         | Smt.Solver.Unknown _ -> "unknown"
+       in
+       Fmt.pr "branch at 0x%Lx taken=%b: %s@." b.pc b.taken verdict)
+    path.branches

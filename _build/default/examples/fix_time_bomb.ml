@@ -1,0 +1,44 @@
+(** Extension demo: repairing the Es0 row.
+
+    Every tool in Table II fails the time bomb because none declares
+    the clock symbolic (Es0).  The core supports it: pass
+    [symbolic_syscalls = ["time"]] and the executor turns the [time]
+    result into a solver variable, the bomb branch becomes a
+    constraint, and the solver reads the detonation date out of the
+    binary. *)
+
+let () =
+  let bomb = Bombs.Catalog.find "time_bomb" in
+  let image = Bombs.Catalog.image bomb in
+  let config = Bombs.Common.config_for bomb "x" in
+  let trace = Trace.record ~config image in
+
+  Fmt.pr "== default engine (clock concrete): Es0, as in Table II ==@.";
+  let plain =
+    Concolic.Trace_exec.run Concolic.Trace_exec.bap_like_config trace
+  in
+  Fmt.pr "symbolic branches found: %d@.@." (List.length plain.branches);
+
+  Fmt.pr "== with the clock declared symbolic ==@.";
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with
+      symbolic_syscalls = [ "time" ] }
+  in
+  let path = Concolic.Trace_exec.run cfg trace in
+  Fmt.pr "symbolic branches found: %d@." (List.length path.branches);
+  match path.branches with
+  | [] -> Fmt.pr "unexpected: no branch to negate@."
+  | b :: _ ->
+    (* the trace went the "defused" way; negate to get the bomb way *)
+    (match Smt.Solver.solve [ Smt.Expr.not_ b.cond ] with
+     | Smt.Solver.Sat model ->
+       List.iter
+         (fun (name, v) ->
+            Fmt.pr "  %s = %Ld@." name v;
+            Fmt.pr "@.verification: run with the clock set to %Ld@." v;
+            let config = { config with now = v } in
+            let res = Vm.Machine.run_image ~config image in
+            Fmt.pr "stdout: %S  (detonated: %b)@." res.stdout
+              (Bombs.Common.triggered res))
+         model
+     | o -> Fmt.pr "solver: %s@." (Smt.Solver.outcome_to_string o))

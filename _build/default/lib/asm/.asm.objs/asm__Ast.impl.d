@@ -1,0 +1,1 @@
+lib/asm/ast.pp.ml: Insn Int64 Isa List Option Reg

@@ -1,0 +1,1 @@
+lib/asm/image.pp.ml: Buffer Char Int64 Isa List Ppx_deriving_runtime Printf String

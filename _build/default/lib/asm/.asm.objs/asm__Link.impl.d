@@ -1,0 +1,1 @@
+lib/asm/link.pp.ml: Ast Buffer Char Hashtbl Image Int64 Isa List Printf String

@@ -1,0 +1,146 @@
+(** Assembly-program representation: instructions with symbolic label
+    references, data directives, and sectioned objects.
+
+    Labels are program-global (the linker rejects duplicates), so a
+    guest "libc" object and a bomb object can be linked by simple
+    concatenation. *)
+
+(** A reference that is resolved to an absolute address at link time. *)
+type ref_ = Lbl of string | Abs of int64
+
+type item =
+  | Insn of Isa.Insn.t
+      (** an instruction with no unresolved references *)
+  | Jmp_l of ref_                     (** direct jump *)
+  | Jcc_l of Isa.Insn.cond * ref_     (** conditional jump *)
+  | Call_l of ref_                    (** direct call *)
+  | Lea_l of Isa.Reg.t * ref_         (** load a symbol's address *)
+  | Mov_l of Isa.Reg.t * ref_         (** move a symbol's address (imm) *)
+  | Push_l of ref_                    (** push a symbol's address *)
+  | Label of string
+  | Bytes of string                   (** raw bytes *)
+  | Asciz of string                   (** NUL-terminated string *)
+  | Quad of ref_ list                 (** 8-byte little-endian words;
+                                          label entries build jump tables *)
+  | Space of int                      (** zero fill *)
+  | Align of int
+
+(** A relocatable object: text, initialised data, and zero-initialised
+    bss (only [Label]/[Space]/[Align] make sense there). *)
+type obj = { text : item list; data : item list; bss : item list }
+
+let obj ?(data = []) ?(bss = []) text = { text; data; bss }
+
+let empty = { text = []; data = []; bss = [] }
+
+let append a b =
+  { text = a.text @ b.text; data = a.data @ b.data; bss = a.bss @ b.bss }
+
+let concat objs = List.fold_left append empty objs
+
+(* ------------------------------------------------------------------ *)
+(* A tiny builder DSL so bombs and libc read like assembly listings.   *)
+(* ------------------------------------------------------------------ *)
+
+module Dsl = struct
+  open Isa
+
+  let rax = Insn.Reg Reg.RAX and rbx = Insn.Reg Reg.RBX
+  and rcx = Insn.Reg Reg.RCX and rdx = Insn.Reg Reg.RDX
+  and rsi = Insn.Reg Reg.RSI and rdi = Insn.Reg Reg.RDI
+  and rbp = Insn.Reg Reg.RBP and rsp = Insn.Reg Reg.RSP
+  and r8 = Insn.Reg Reg.R8 and r9 = Insn.Reg Reg.R9
+  and r10 = Insn.Reg Reg.R10 and r11 = Insn.Reg Reg.R11
+  and r12 = Insn.Reg Reg.R12 and r13 = Insn.Reg Reg.R13
+  and r14 = Insn.Reg Reg.R14 and r15 = Insn.Reg Reg.R15
+
+  let imm v = Insn.Imm (Int64.of_int v)
+  let imm64 v = Insn.Imm v
+
+  (** [mem ~base ~index ~scale ~disp ()] operand. *)
+  let mem ?base ?index ?scale ?disp () =
+    Insn.Mem (Insn.mem ?base ?index ?scale
+                ?disp:(Option.map Int64.of_int disp) ())
+
+  let mreg ?(disp = 0) r =
+    Insn.Mem (Insn.mem ~base:r ~disp:(Int64.of_int disp) ())
+
+  let reg_of = function
+    | Insn.Reg r -> r
+    | o -> invalid_arg ("Dsl.reg_of: " ^ Isa.Insn.show_operand o)
+
+  (* instruction shorthands; [w] defaults to 64-bit *)
+  let mov ?(w = Insn.W64) d s = Insn (Isa.Insn.Mov (w, d, s))
+  let movzx ?(dw = Insn.W64) d ~sw s = Insn (Isa.Insn.Movzx (dw, reg_of d, sw, s))
+  let movsx ?(dw = Insn.W64) d ~sw s = Insn (Isa.Insn.Movsx (dw, reg_of d, sw, s))
+  let lea d l = Lea_l (reg_of d, Lbl l)
+  let mov_lbl d l = Mov_l (reg_of d, Lbl l)
+  let push_lbl l = Push_l (Lbl l)
+  let lea_m d m =
+    match m with
+    | Insn.Mem mm -> Insn (Isa.Insn.Lea (reg_of d, mm))
+    | _ -> invalid_arg "Dsl.lea_m"
+  let add ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Add, w, d, s))
+  let sub ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Sub, w, d, s))
+  let and_ ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (And, w, d, s))
+  let or_ ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Or, w, d, s))
+  let xor ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Xor, w, d, s))
+  let shl ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Shl, w, d, s))
+  let shr ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Shr, w, d, s))
+  let sar ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Sar, w, d, s))
+  let imul ?(w = Insn.W64) d s = Insn (Isa.Insn.Alu (Imul, w, d, s))
+  let not_ ?(w = Insn.W64) o = Insn (Isa.Insn.Not (w, o))
+  let neg ?(w = Insn.W64) o = Insn (Isa.Insn.Neg (w, o))
+  let mul ?(w = Insn.W64) o = Insn (Isa.Insn.Mul (w, o))
+  let idiv ?(w = Insn.W64) o = Insn (Isa.Insn.Idiv (w, o))
+  let cmp ?(w = Insn.W64) a b = Insn (Isa.Insn.Cmp (w, a, b))
+  let test ?(w = Insn.W64) a b = Insn (Isa.Insn.Test (w, a, b))
+  let jmp l = Jmp_l (Lbl l)
+  let jmp_ind o = Insn (Isa.Insn.Jmp (Indirect o))
+  let je l = Jcc_l (E, Lbl l)
+  let jne l = Jcc_l (NE, Lbl l)
+  let jl l = Jcc_l (L, Lbl l)
+  let jle l = Jcc_l (LE, Lbl l)
+  let jg l = Jcc_l (G, Lbl l)
+  let jge l = Jcc_l (GE, Lbl l)
+  let jb l = Jcc_l (B, Lbl l)
+  let jbe l = Jcc_l (BE, Lbl l)
+  let ja l = Jcc_l (A, Lbl l)
+  let jae l = Jcc_l (AE, Lbl l)
+  let js l = Jcc_l (S, Lbl l)
+  let jns l = Jcc_l (NS, Lbl l)
+  let jp l = Jcc_l (P, Lbl l)
+  let jnp l = Jcc_l (NP, Lbl l)
+  let call l = Call_l (Lbl l)
+  let call_ind o = Insn (Isa.Insn.Call (Indirect o))
+  let ret = Insn Isa.Insn.Ret
+  let push o = Insn (Isa.Insn.Push o)
+  let pop o = Insn (Isa.Insn.Pop o)
+  let sete o = Insn (Isa.Insn.Setcc (E, o))
+  let setne o = Insn (Isa.Insn.Setcc (NE, o))
+  let cmove d s = Insn (Isa.Insn.Cmovcc (E, reg_of d, s))
+  let cmovne d s = Insn (Isa.Insn.Cmovcc (NE, reg_of d, s))
+  let syscall = Insn Isa.Insn.Syscall
+  let nop = Insn Isa.Insn.Nop
+  let hlt = Insn Isa.Insn.Hlt
+  let cvtsi2sd x o = Insn (Isa.Insn.Cvtsi2sd (x, o))
+  let cvttsd2si d xs = Insn (Isa.Insn.Cvttsd2si (reg_of d, xs))
+  let movq_xr x o = Insn (Isa.Insn.Movq_xr (x, o))
+  let movq_rx o x = Insn (Isa.Insn.Movq_rx (o, x))
+  let movsd x xs = Insn (Isa.Insn.Movsd (x, xs))
+  let movsd_store m x =
+    match m with
+    | Insn.Mem mm -> Insn (Isa.Insn.Movsd_store (mm, x))
+    | _ -> invalid_arg "Dsl.movsd_store"
+  let addsd x xs = Insn (Isa.Insn.Farith (Addsd, x, xs))
+  let subsd x xs = Insn (Isa.Insn.Farith (Subsd, x, xs))
+  let mulsd x xs = Insn (Isa.Insn.Farith (Mulsd, x, xs))
+  let divsd x xs = Insn (Isa.Insn.Farith (Divsd, x, xs))
+  let sqrtsd x xs = Insn (Isa.Insn.Farith (Sqrtsd, x, xs))
+  let ucomisd x xs = Insn (Isa.Insn.Ucomisd (x, xs))
+  let label s = Label s
+  let asciz s = Asciz s
+  let quad vs = Quad (List.map (fun v -> Abs (Int64.of_int v)) vs)
+  let quad_lbls ls = Quad (List.map (fun l -> Lbl l) ls)
+  let space n = Space n
+end

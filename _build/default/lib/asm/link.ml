@@ -1,0 +1,176 @@
+(** Two-pass layout and link of assembly objects into a BELF image.
+
+    Pass 1 lays out every item and records label addresses; pass 2
+    resolves references and emits bytes.  Instruction encodings have a
+    size independent of immediate *values* (see {!Isa.Codec}), so the
+    two passes agree by construction. *)
+
+exception Link_error of string
+
+let link_error fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+let text_base = 0x1000L
+let page = 0x1000
+
+let align_up v a = (v + a - 1) / a * a
+
+(* Size of an item in bytes (pass 1). References are encoded with a
+   placeholder value; encoded size does not depend on the value. *)
+let item_size : Ast.item -> int = function
+  | Ast.Insn i -> Isa.Codec.encoded_size i
+  | Jmp_l _ -> Isa.Codec.encoded_size (Isa.Insn.Jmp (Direct 0L))
+  | Jcc_l (c, _) -> Isa.Codec.encoded_size (Isa.Insn.Jcc (c, 0L))
+  | Call_l _ -> Isa.Codec.encoded_size (Isa.Insn.Call (Direct 0L))
+  | Lea_l (r, _) ->
+    Isa.Codec.encoded_size (Isa.Insn.Lea (r, Isa.Insn.mem ~disp:0L ()))
+  | Mov_l (r, _) ->
+    Isa.Codec.encoded_size (Isa.Insn.Mov (W64, Reg r, Imm 0L))
+  | Push_l _ -> Isa.Codec.encoded_size (Isa.Insn.Push (Imm 0L))
+  | Label _ -> 0
+  | Bytes s -> String.length s
+  | Asciz s -> String.length s + 1
+  | Quad vs -> 8 * List.length vs
+  | Space n -> n
+  | Align _ -> 0 (* handled specially: depends on position *)
+
+let layout_items items base =
+  let tbl = Hashtbl.create 64 in
+  let pos = ref base in
+  let positions =
+    List.map
+      (fun item ->
+         (match item with
+          | Ast.Align a -> pos := align_up !pos a
+          | _ -> ());
+         let at = !pos in
+         (match item with
+          | Ast.Label l ->
+            if Hashtbl.mem tbl l then link_error "duplicate label %s" l;
+            Hashtbl.replace tbl l (Int64.of_int at)
+          | _ -> ());
+         pos := !pos + item_size item;
+         (item, at))
+      items
+  in
+  (positions, !pos, tbl)
+
+let resolve labels = function
+  | Ast.Abs v -> v
+  | Ast.Lbl l -> (
+      match Hashtbl.find_opt labels l with
+      | Some a -> a
+      | None -> link_error "undefined label %s" l)
+
+let emit_items buf positions labels =
+  List.iter
+    (fun ((item : Ast.item), at) ->
+       (* zero-pad up to the item's position (alignment gaps) *)
+       while Buffer.length buf < at do Buffer.add_char buf '\000' done;
+       let res = resolve labels in
+       match item with
+       | Insn i -> Isa.Codec.encode_into buf i
+       | Jmp_l r -> Isa.Codec.encode_into buf (Isa.Insn.Jmp (Direct (res r)))
+       | Jcc_l (c, r) -> Isa.Codec.encode_into buf (Isa.Insn.Jcc (c, res r))
+       | Call_l r -> Isa.Codec.encode_into buf (Isa.Insn.Call (Direct (res r)))
+       | Lea_l (reg, r) ->
+         Isa.Codec.encode_into buf
+           (Isa.Insn.Lea (reg, Isa.Insn.mem ~disp:(res r) ()))
+       | Mov_l (reg, r) ->
+         Isa.Codec.encode_into buf (Isa.Insn.Mov (W64, Reg reg, Imm (res r)))
+       | Push_l r -> Isa.Codec.encode_into buf (Isa.Insn.Push (Imm (res r)))
+       | Label _ -> ()
+       | Bytes s -> Buffer.add_string buf s
+       | Asciz s -> Buffer.add_string buf s; Buffer.add_char buf '\000'
+       | Quad vs ->
+         List.iter
+           (fun v ->
+              let v = res v in
+              for i = 0 to 7 do
+                Buffer.add_char buf
+                  (Char.chr
+                     (Int64.to_int (Int64.shift_right_logical v (8 * i))
+                      land 0xff))
+              done)
+           vs
+       | Space n -> Buffer.add_string buf (String.make n '\000')
+       | Align _ -> ())
+    positions
+
+let labels_of_items items =
+  List.filter_map (function Ast.Label l -> Some l | _ -> None) items
+
+(** [link ?libs ~entry prog] lays out [prog] followed by every object
+    in [libs], resolves references, and builds the image.  Labels from
+    [libs] become [from_lib] symbols.  Text starts at 0x1000; data is
+    page-aligned after text; a [bss] region of [bss_size] bytes follows
+    data. *)
+let link ?(libs = []) ?(heap_size = 0x2000) ~entry (prog : Ast.obj) =
+  let lib = Ast.concat libs in
+  let lib_labels = labels_of_items (lib.text @ lib.data @ lib.bss) in
+  let all : Ast.obj = Ast.append prog lib in
+  let text_items = all.text and data_items = all.data in
+  let tbase = Int64.to_int text_base in
+  let text_pos, text_end, ltbl = layout_items text_items tbase in
+  let dbase = align_up text_end page in
+  let data_pos, data_end, dtbl = layout_items data_items dbase in
+  let labels = Hashtbl.create 64 in
+  Hashtbl.iter (Hashtbl.replace labels) ltbl;
+  Hashtbl.iter
+    (fun k v ->
+       if Hashtbl.mem labels k then link_error "duplicate label %s" k;
+       Hashtbl.replace labels k v)
+    dtbl;
+  let bss_addr = align_up data_end page in
+  let bss_pos, bss_end, btbl = layout_items all.bss bss_addr in
+  List.iter
+    (fun ((item : Ast.item), _) ->
+       match item with
+       | Label _ | Space _ | Align _ -> ()
+       | _ -> link_error "bss section may only contain labels and space")
+    bss_pos;
+  Hashtbl.iter
+    (fun k v ->
+       if Hashtbl.mem labels k then link_error "duplicate label %s" k;
+       Hashtbl.replace labels k v)
+    btbl;
+  let bss_size = bss_end - bss_addr + heap_size in
+  Hashtbl.replace labels "__heap" (Int64.of_int bss_end);
+  Hashtbl.replace labels "__heap_end" (Int64.of_int (bss_addr + bss_size));
+  let tbuf = Buffer.create 4096 and dbuf = Buffer.create 4096 in
+  (* emit positions are relative to segment start for padding logic *)
+  let rel base = List.map (fun (i, at) -> (i, at - base)) in
+  emit_items tbuf (rel tbase text_pos) labels;
+  emit_items dbuf (rel dbase data_pos) labels;
+  let lib_set = List.fold_left (fun s l -> l :: s) [] lib_labels in
+  let sym_of_label in_text name addr : Image.symbol =
+    { name; addr;
+      kind = (if in_text then Image.Func else Image.Obj);
+      from_lib = List.mem name lib_set }
+  in
+  let data_syms positions =
+    List.filter_map
+      (function Ast.Label l, at -> Some (sym_of_label false l (Int64.of_int at))
+              | _ -> None)
+      positions
+  in
+  let symbols =
+    List.filter_map
+      (function Ast.Label l, at -> Some (sym_of_label true l (Int64.of_int at))
+              | _ -> None)
+      text_pos
+    @ data_syms data_pos
+    @ data_syms bss_pos
+  in
+  let entry_addr =
+    match Hashtbl.find_opt labels entry with
+    | Some a -> a
+    | None -> link_error "entry label %s undefined" entry
+  in
+  { Image.entry = entry_addr;
+    text_addr = text_base;
+    text = Buffer.contents tbuf;
+    data_addr = Int64.of_int dbase;
+    data = Buffer.contents dbuf;
+    bss_addr = Int64.of_int bss_addr;
+    bss_size;
+    symbols }

@@ -1,0 +1,1 @@
+lib/bombs/array.ml: Asm Char Common Isa List String

@@ -1,0 +1,1 @@
+lib/bombs/catalog.ml: Array Asm Common Contextual Covert Crypto Decl External_call Extras Fp Hashtbl Jump List Parallel Printf

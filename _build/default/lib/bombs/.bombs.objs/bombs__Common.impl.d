@@ -1,0 +1,1 @@
+lib/bombs/common.ml: Asm Isa Libc List String Vm

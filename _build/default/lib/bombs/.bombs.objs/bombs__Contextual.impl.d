@@ -1,0 +1,1 @@
+lib/bombs/contextual.ml: Asm Char Common Isa

@@ -1,0 +1,1 @@
+lib/bombs/covert.ml: Asm Char Common Isa

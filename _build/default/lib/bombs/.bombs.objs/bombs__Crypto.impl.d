@@ -1,0 +1,1 @@
+lib/bombs/crypto.ml: Asm Bytes Common Ocrypto String

@@ -1,0 +1,1 @@
+lib/bombs/decl.ml: Asm Common

@@ -1,0 +1,1 @@
+lib/bombs/external_call.ml: Asm Char Common Int64 Isa Libc String

@@ -1,0 +1,1 @@
+lib/bombs/extras.ml: Asm Char Common Int64 Isa String

@@ -1,0 +1,1 @@
+lib/bombs/fp.ml: Asm Char Common Int64 Isa String

@@ -1,0 +1,1 @@
+lib/bombs/jump.ml: Asm Common Isa

@@ -1,0 +1,1 @@
+lib/bombs/parallel.ml: Asm Common Isa

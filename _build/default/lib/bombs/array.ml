@@ -1,0 +1,60 @@
+(** Symbolic-array bombs (Table II rows 12–13, Fig. 2c): the symbolic
+    value indexes one or two levels of in-memory tables. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+(* table.(6) = 0x5a; others are noise *)
+let table1 = [ 17; 3; 44; 9; 120; 61; 0x5a; 28; 77; 5 ]
+
+(* if (table[argv[1][0] - '0'] == 0x5a) bomb(); *)
+let array1_bomb =
+  Common.make ~category:"Symbolic Array"
+    ~challenge:"Employ symbolic values as offsets for a level-one array"
+    ~fig2:(Some "c")
+    ~trigger:(Common.argv_trigger "6")
+    "array1_bomb"
+    (Common.main_with_argv
+       ~data:
+         [ label "__arr1";
+           Asm.Ast.Bytes (String.init 10 (fun i -> Char.chr (List.nth table1 i))) ]
+       [ movzx rax ~sw:W8 (mreg RBX);
+         sub rax (imm (Char.code '0'));
+         cmp rax (imm 9);
+         ja ".defused";                 (* bounds check, unsigned *)
+         lea rcx "__arr1";
+         movzx rdx ~sw:W8 (mem ~base:RCX ~index:RAX ());
+         cmp rdx (imm 0x5a);
+         jne ".defused";
+         call "bomb" ])
+
+(* level one: digit -> index; level two: index -> tag *)
+let t1 = [ 4; 9; 1; 7; 2; 0; 3; 8; 5; 6 ]     (* t1.(3) = 7 *)
+let t2 = [ 12; 90; 33; 7; 51; 2; 68; 0x77; 21; 40 ]  (* t2.(7) = 0x77 *)
+
+(* if (t2[t1[argv[1][0] - '0']] == 0x77) bomb();  -- "3" *)
+let array2_bomb =
+  Common.make ~category:"Symbolic Array"
+    ~challenge:"Employ symbolic values as offsets for a level-two array"
+    ~trigger:(Common.argv_trigger "3")
+    "array2_bomb"
+    (Common.main_with_argv
+       ~data:
+         [ label "__arr2_t1";
+           Asm.Ast.Bytes (String.init 10 (fun i -> Char.chr (List.nth t1 i)));
+           label "__arr2_t2";
+           Asm.Ast.Bytes (String.init 10 (fun i -> Char.chr (List.nth t2 i))) ]
+       [ movzx rax ~sw:W8 (mreg RBX);
+         sub rax (imm (Char.code '0'));
+         cmp rax (imm 9);
+         ja ".defused";
+         lea rcx "__arr2_t1";
+         movzx rax ~sw:W8 (mem ~base:RCX ~index:RAX ());
+         lea rcx "__arr2_t2";
+         movzx rdx ~sw:W8 (mem ~base:RCX ~index:RAX ());
+         cmp rdx (imm 0x77);
+         jne ".defused";
+         call "bomb" ])
+
+let all = [ array1_bomb; array2_bomb ]

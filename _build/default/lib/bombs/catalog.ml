@@ -1,0 +1,42 @@
+(** The full bomb dataset: the 22 Table II bombs in paper order, plus
+    the negative bomb and the two Figure 3 programs. *)
+
+let table2 : Common.t list =
+  Decl.all @ Covert.all @ Parallel.all @ Array.all @ Contextual.all
+  @ Jump.all @ Fp.all @ External_call.all @ Crypto.all
+
+let extras : Common.t list = Extras.all
+
+let all : Common.t list = table2 @ extras
+
+let find name =
+  match List.find_opt (fun (b : Common.t) -> b.name = name) all with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Catalog.find: unknown bomb %s" name)
+
+let names = List.map (fun (b : Common.t) -> b.name) all
+
+(** Image cache: linking is deterministic, so share images. *)
+let image_cache : (string, Asm.Image.t) Hashtbl.t = Hashtbl.create 32
+
+let image (b : Common.t) =
+  match Hashtbl.find_opt image_cache b.name with
+  | Some i -> i
+  | None ->
+    let i = Common.link b in
+    Hashtbl.replace image_cache b.name i;
+    i
+
+(** Binary-size statistics for the dataset section (§V-A). *)
+let size_stats () =
+  let sizes =
+    List.map (fun b -> Asm.Image.size (image b)) table2
+    |> List.sort compare
+  in
+  let n = List.length sizes in
+  let median =
+    if n = 0 then 0
+    else if n mod 2 = 1 then List.nth sizes (n / 2)
+    else (List.nth sizes ((n / 2) - 1) + List.nth sizes (n / 2)) / 2
+  in
+  (List.hd sizes, median, List.nth sizes (n - 1))

@@ -1,0 +1,137 @@
+(** Shared pieces of every logic bomb: the [bomb] routine, the
+    trigger/metadata record, and argv-handling prologues.
+
+    A bomb "goes off" by printing ["BOOM!"] and exiting with code 42 —
+    the grader checks stdout, which is robust even for bombs that kill
+    the process in unusual ways. *)
+
+open Isa.Reg
+open Asm.Ast.Dsl
+
+let boom_exit_code = 42
+let boom_marker = "BOOM!"
+
+(** The payload: prints the marker and exits 42. *)
+let bomb_obj : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~data:[ label "__boom_msg"; asciz boom_marker ]
+    [ label "bomb";
+      lea rdi "__boom_msg";
+      call "puts";
+      mov rdi (imm boom_exit_code);
+      call "exit";
+      hlt ]
+
+(** Environment adjustments a bomb needs before it can possibly fire. *)
+type env_change =
+  | Set_time of int64
+  | Set_web of string
+  | Set_uid of int64
+  | Add_file of string * string
+
+(** What makes a bomb go off.  [argv1 = None] means the command-line
+    value is irrelevant (any placeholder will do). *)
+type trigger = { argv1 : string option; env : env_change list }
+
+let argv_trigger s = Some { argv1 = Some s; env = [] }
+let env_trigger env = Some { argv1 = None; env }
+
+type t = {
+  name : string;
+  category : string;             (** Table II category *)
+  challenge : string;            (** Table II "Sample Case" text *)
+  fig2 : string option;          (** Fig. 2 sub-figure it illustrates *)
+  obj : Asm.Ast.obj;
+  trigger : trigger option;      (** [None] = the bomb path is dead code *)
+  base_files : (string * string) list;
+      (** filesystem contents that exist in the bomb's world *)
+  decoy : string;
+      (** an argv[1] value guaranteed NOT to trigger the bomb *)
+}
+
+let make ?(fig2 = None) ?(base_files = []) ?(decoy = "5") ~category ~challenge
+    ~trigger name obj =
+  { name; category; challenge; fig2; obj; trigger; base_files; decoy }
+
+(** Build the concrete-machine config for running [bomb] on [argv1],
+    with the triggering environment applied when [winning]. *)
+let config_for ?(winning = false) (bomb : t) argv1 =
+  let base =
+    { Vm.Machine.default_config with
+      argv = [ bomb.name; argv1 ];
+      files = bomb.base_files }
+  in
+  if not winning then base
+  else
+    match bomb.trigger with
+    | None -> base
+    | Some { env; _ } ->
+      List.fold_left
+        (fun (cfg : Vm.Machine.config) change ->
+           match change with
+           | Set_time t -> { cfg with now = t }
+           | Set_web w -> { cfg with web_content = w }
+           | Set_uid u -> { cfg with uid = u }
+           | Add_file (p, d) -> { cfg with files = (p, d) :: cfg.files })
+        base env
+
+(** The argv value that triggers the bomb, or a harmless placeholder. *)
+let winning_argv (bomb : t) =
+  match bomb.trigger with
+  | Some { argv1 = Some s; _ } -> s
+  | Some { argv1 = None; _ } | None -> "x"
+
+(** Did a run set the bomb off? *)
+let triggered (res : Vm.Machine.run_result) =
+  let marker = boom_marker in
+  let hay = res.stdout in
+  let n = String.length marker and h = String.length hay in
+  let rec scan i =
+    i + n <= h && (String.sub hay i n = marker || scan (i + 1))
+  in
+  scan 0
+
+(** Standard prologue: rbx := argv[1] (or exit 1 if argc < 2). *)
+let load_argv1 =
+  [ cmp rdi (imm 2);
+    jl ".no_arg";
+    mov rbx (mreg ~disp:8 RSI) ]
+
+(* every bomb links this tail once *)
+let no_arg_tail =
+  [ label ".no_arg";
+    mov rdi (imm 1);
+    call "exit";
+    hlt ]
+
+(** Wrap a [main] body: [load_argv1] first, body, then the shared
+    failure tails.  The body must end in [ret] or a jump. *)
+let main_with_argv ?(data = []) ?(bss = []) body : Asm.Ast.obj =
+  Asm.Ast.obj ~data ~bss
+    ((label "main" :: load_argv1) @ body
+     @ [ label ".defused";
+         lea rdi "__defused_msg";
+         call "puts";
+         mov rax (imm 0);
+         ret ]
+     @ no_arg_tail)
+  |> fun o ->
+  { o with
+    data = o.data @ [ label "__defused_msg"; asciz "nothing happened" ] }
+
+(** For bombs that do not read argv at all. *)
+let main_plain ?(data = []) ?(bss = []) body : Asm.Ast.obj =
+  Asm.Ast.obj ~data ~bss
+    ((label "main" :: body)
+     @ [ label ".defused";
+         lea rdi "__defused_msg2";
+         call "puts";
+         mov rax (imm 0);
+         ret ])
+  |> fun o ->
+  { o with
+    data = o.data @ [ label "__defused_msg2"; asciz "nothing happened" ] }
+
+(** Link a bomb against the full guest runtime. *)
+let link (bomb : t) =
+  Libc.Runtime.link_with_libs (Asm.Ast.append bomb.obj bomb_obj)

@@ -1,0 +1,57 @@
+(** Contextual-symbolic-value bombs (Table II rows 14–15, Fig. 2e):
+    the symbolic value parameterises a lookup into the *environment* —
+    a file name, or a syscall number. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+let secret_path = "secret.txt"
+let secret_contents = "S3same"
+
+(* if (open(argv[1]) succeeds && first byte == 'S') bomb(); *)
+let filename_bomb =
+  Common.make ~category:"Contextual Symbolic Value"
+    ~challenge:"Employ symbolic values as the name of a file"
+    ~fig2:(Some "e")
+    ~base_files:[ (secret_path, secret_contents) ]
+    ~trigger:(Common.argv_trigger secret_path)
+    "filename_bomb"
+    (Common.main_with_argv
+       ~bss:[ label "__fn_buf"; space 8 ]
+       [ mov rdi rbx;
+         xor rsi rsi;
+         call "open";
+         test rax rax;
+         js ".defused";                 (* no such file *)
+         mov r12 rax;
+         mov rdi r12;
+         lea rsi "__fn_buf";
+         mov rdx (imm 1);
+         call "read";
+         lea rax "__fn_buf";
+         movzx rcx ~sw:W8 (mreg RAX);
+         cmp rcx (imm (Char.code 'S'));
+         jne ".defused";
+         call "bomb" ])
+
+(* r = syscall3(atoi(argv[1]), 0, 0, 0); if (r == 1000) bomb();
+   getuid (102) returns exactly 1000 *)
+let sysname_bomb =
+  Common.make ~category:"Contextual Symbolic Value"
+    ~challenge:"Employ symbolic values as the name of a system call"
+    ~trigger:(Common.argv_trigger "102")
+    "sysname_bomb"
+    (Common.main_with_argv
+       [ mov rdi rbx;
+         call "atoi";
+         mov rdi rax;
+         xor rsi rsi;
+         xor rdx rdx;
+         xor rcx rcx;
+         call "syscall3";
+         cmp rax (imm 1000);
+         jne ".defused";
+         call "bomb" ])
+
+let all = [ filename_bomb; sysname_bomb ]

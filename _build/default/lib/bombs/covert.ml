@@ -1,0 +1,149 @@
+(** Covert-symbolic-propagation bombs (Table II rows 5–9, Fig. 2b).
+
+    The symbolic value reaches the guard through a channel a naive
+    data-flow does not follow: the stack, a file round-trip, a kernel
+    round-trip, or an exception handler. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+(* push argv[1][0]; pop it back; compare *)
+let stack_bomb =
+  Common.make ~category:"Covert Symbolic Propagation"
+    ~challenge:"Push symbolic values into the stack and pop out"
+    ~trigger:(Common.argv_trigger "K")
+    "stack_bomb"
+    (Common.main_with_argv
+       [ movzx rax ~sw:W8 (mreg RBX);
+         push rax;
+         xor rax rax;
+         pop rcx;
+         cmp rcx (imm (Char.code 'K'));
+         jne ".defused";
+         call "bomb" ])
+
+(* write argv[1] to a file, read it back, compare to "mango" *)
+let file_bomb =
+  Common.make ~category:"Covert Symbolic Propagation"
+    ~challenge:"Save symbolic values to a file and then read back"
+    ~fig2:(Some "b")
+    ~trigger:(Common.argv_trigger "mango")
+    "file_bomb"
+    (Common.main_with_argv
+       ~data:[ label "__tmp_path"; asciz "tmp.txt";
+               label "__fruit"; asciz "mango" ]
+       ~bss:[ label "__file_buf"; space 32 ]
+       [ (* fd = open("tmp.txt", O_WRONLY|O_CREAT|O_TRUNC) *)
+         lea rdi "__tmp_path";
+         mov rsi (imm 0o1101);
+         call "open";
+         mov r12 rax;
+         (* write(fd, argv1, strlen(argv1)) *)
+         mov rdi rbx;
+         call "strlen";
+         mov rdx rax;
+         mov rdi r12;
+         mov rsi rbx;
+         call "write";
+         mov rdi r12;
+         call "close";
+         (* read it back *)
+         lea rdi "__tmp_path";
+         xor rsi rsi;
+         call "open";
+         mov r12 rax;
+         mov rdi r12;
+         lea rsi "__file_buf";
+         mov rdx (imm 31);
+         call "read";
+         mov rdi r12;
+         call "close";
+         lea rdi "__file_buf";
+         lea rsi "__fruit";
+         call "strcmp";
+         test rax rax;
+         jne ".defused";
+         call "bomb" ])
+
+(* round-trip argv[1][0] through the kernel via a pipe *)
+let syscovert_bomb =
+  Common.make ~category:"Covert Symbolic Propagation"
+    ~challenge:"Save symbolic values via system call and then read back"
+    ~trigger:(Common.argv_trigger "Q")
+    "syscovert_bomb"
+    (Common.main_with_argv
+       ~bss:[ label "__pipe_fds"; space 8; label "__pipe_buf"; space 8 ]
+       [ lea rdi "__pipe_fds";
+         call "pipe";
+         (* write(fds[1], argv1, 1) *)
+         lea rax "__pipe_fds";
+         mov ~w:W32 rdi (mreg ~disp:4 RAX);
+         mov rsi rbx;
+         mov rdx (imm 1);
+         call "write";
+         (* read(fds[0], buf, 1) *)
+         lea rax "__pipe_fds";
+         mov ~w:W32 rdi (mreg RAX);
+         lea rsi "__pipe_buf";
+         mov rdx (imm 1);
+         call "read";
+         lea rax "__pipe_buf";
+         movzx rcx ~sw:W8 (mreg RAX);
+         cmp rcx (imm (Char.code 'Q'));
+         jne ".defused";
+         call "bomb" ])
+
+(* SIGFPE handler flips a flag; div by atoi(argv[1]) faults on "0" *)
+let exception_bomb =
+  Common.make ~category:"Covert Symbolic Propagation"
+    ~challenge:"Change symbolic values in an exception (argv[1] = 0)"
+    ~trigger:(Common.argv_trigger "0")
+    "exception_bomb"
+    ((Common.main_with_argv
+        ~bss:[ label "__fpe_flag"; space 8 ]
+        [ (* signal(SIGFPE, handler) *)
+          mov rdi (imm 8);
+          mov_lbl rsi "__fpe_handler";
+          call "signal";
+          (* x = atoi(argv[1]); 100 / x *)
+          mov rdi rbx;
+          call "atoi";
+          mov rcx rax;
+          mov rax (imm 100);
+          idiv rcx;
+          (* if handler ran, the flag is set *)
+          lea rax "__fpe_flag";
+          mov rcx (mreg RAX);
+          test rcx rcx;
+          je ".defused";
+          call "bomb" ])
+     |> fun o ->
+     { o with
+       text =
+         o.text
+         @ [ label "__fpe_handler";
+             lea rax "__fpe_flag";
+             mov (mreg RAX) (imm 1);
+             ret ] })
+
+(* open() failure path (the "file operation exception") decides *)
+let fileexc_bomb =
+  Common.make ~category:"Covert Symbolic Propagation"
+    ~challenge:"Change symbolic values in an file operation exception"
+    ~trigger:(Common.argv_trigger "nosuchfile")
+    "fileexc_bomb"
+    (Common.main_with_argv
+       [ (* fd = open(argv[1], O_RDONLY): fails for missing files *)
+         mov rdi rbx;
+         xor rsi rsi;
+         call "open";
+         test rax rax;
+         jns ".defused";                (* file exists: no exception *)
+         (* exception path: require argv[1][0] == 'n' too *)
+         movzx rcx ~sw:W8 (mreg RBX);
+         cmp rcx (imm (Char.code 'n'));
+         jne ".defused";
+         call "bomb" ])
+
+let all = [ stack_bomb; file_bomb; syscovert_bomb; exception_bomb; fileexc_bomb ]

@@ -1,0 +1,83 @@
+(** Crypto-function bombs (Table II rows 21–22, Fig. 2i): triggering
+    requires inverting SHA-1 or recovering an AES plaintext — beyond
+    any constraint solver. *)
+
+open Asm.Ast.Dsl
+
+let sha1_password = "unlock"
+let sha1_digest = Ocrypto.Sha1.digest sha1_password
+
+(* if (sha1(argv[1]) == sha1("unlock")) bomb(); *)
+let sha1_bomb =
+  Common.make ~category:"Crypto Function"
+    ~challenge:"Infer the plain text from an SHA1 result"
+    ~fig2:(Some "i")
+    ~trigger:(Common.argv_trigger sha1_password)
+    "sha1_bomb"
+    (Common.main_with_argv
+       ~data:[ label "__sha1_expect"; Asm.Ast.Bytes sha1_digest ]
+       ~bss:[ label "__sha1_out"; space 20 ]
+       [ mov rdi rbx;
+         call "strlen";
+         cmp rax (imm 55);
+         ja ".defused";                 (* single-block limit *)
+         mov rsi rax;
+         mov rdi rbx;
+         lea rdx "__sha1_out";
+         call "sha1";
+         lea rdi "__sha1_out";
+         lea rsi "__sha1_expect";
+         mov rdx (imm 20);
+         call "memcmp";
+         test rax rax;
+         jne ".defused";
+         call "bomb" ])
+
+let aes_key = "k3y-0f-th3-b0mb!"
+let aes_password = "open-sesame"
+
+(* plaintext block: password NUL-padded to 16 bytes *)
+let aes_plain_block =
+  let b = Bytes.make 16 '\000' in
+  Bytes.blit_string aes_password 0 b 0 (String.length aes_password);
+  Bytes.to_string b
+
+let aes_expect = Ocrypto.Aes.encrypt_block ~key:aes_key aes_plain_block
+
+(* if (AES_enc(pad16(argv[1]), key) == E(key, "open-sesame")) bomb(); *)
+let aes_bomb =
+  Common.make ~category:"Crypto Function"
+    ~challenge:"Infer the key from an AES encryption result"
+    ~trigger:(Common.argv_trigger aes_password)
+    "aes_bomb"
+    (Common.main_with_argv
+       ~data:
+         [ label "__aes_key"; Asm.Ast.Bytes aes_key;
+           label "__aes_expect"; Asm.Ast.Bytes aes_expect ]
+       ~bss:[ label "__aes_in"; space 16; label "__aes_out"; space 16 ]
+       [ (* zero-pad argv[1] into a 16-byte block *)
+         lea rdi "__aes_in";
+         xor rsi rsi;
+         mov rdx (imm 16);
+         call "memset";
+         mov rdi rbx;
+         call "strlen";
+         cmp rax (imm 16);
+         ja ".defused";
+         mov rdx rax;
+         lea rdi "__aes_in";
+         mov rsi rbx;
+         call "memcpy";
+         lea rdi "__aes_in";
+         lea rsi "__aes_key";
+         lea rdx "__aes_out";
+         call "aes128_encrypt";
+         lea rdi "__aes_out";
+         lea rsi "__aes_expect";
+         mov rdx (imm 16);
+         call "memcmp";
+         test rax rax;
+         jne ".defused";
+         call "bomb" ])
+
+let all = [ sha1_bomb; aes_bomb ]

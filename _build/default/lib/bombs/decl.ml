@@ -1,0 +1,78 @@
+(** Symbolic-variable-declaration bombs (Table II rows 1–4, Fig. 2a).
+
+    These go off only if the executor declares the right *source* as
+    symbolic: the clock, web contents, a syscall return value, or the
+    length (not just the bytes) of argv[1]. *)
+
+open Asm.Ast.Dsl
+
+let trigger_time = 1_500_000_000L
+
+(* if (time(0) == 1500000000) bomb(); *)
+let time_bomb =
+  Common.make ~category:"Symbolic Variable Declaration"
+    ~challenge:"Employ time info in conditions for triggering a bomb"
+    ~fig2:(Some "a")
+    ~trigger:(Common.env_trigger [ Common.Set_time trigger_time ])
+    "time_bomb"
+    (Common.main_plain
+       [ xor rdi rdi;
+         call "time";
+         mov rcx (imm64 trigger_time);
+         cmp rax rcx;
+         jne ".defused";
+         call "bomb" ])
+
+let web_secret = "HTTP/1.0 200 OK\r\n\r\nBOMB"
+
+(* fetch a "page"; bomb when its body says so *)
+let web_bomb =
+  Common.make ~category:"Symbolic Variable Declaration"
+    ~challenge:"Employ web contents in conditions for triggering a bomb"
+    ~trigger:(Common.env_trigger [ Common.Set_web web_secret ])
+    "web_bomb"
+    (Common.main_plain
+       ~bss:[ label "__web_buf"; space 64 ]
+       [ lea rdi "__web_buf";
+         mov rsi (imm 64);
+         call "http_get";
+         cmp rax (imm 23);
+         jl ".defused";
+         (* compare the response body, past the 19-byte header *)
+         lea rdi "__web_buf";
+         add rdi (imm 19);
+         lea rsi "__web_expect";
+         mov rdx (imm 4);
+         call "memcmp";
+         test rax rax;
+         jne ".defused";
+         call "bomb" ]
+     |> fun o ->
+     { o with data = o.data @ [ label "__web_expect"; asciz "BOMB" ] })
+
+(* if (getuid() == 0) bomb(); *)
+let sysret_bomb =
+  Common.make ~category:"Symbolic Variable Declaration"
+    ~challenge:"Employ the return values of system calls in conditions"
+    ~trigger:(Common.env_trigger [ Common.Set_uid 0L ])
+    "sysret_bomb"
+    (Common.main_plain
+       [ call "getuid";
+         test rax rax;
+         jne ".defused";
+         call "bomb" ])
+
+(* if (strlen(argv[1]) == 7) bomb(); *)
+let argvlen_bomb =
+  Common.make ~category:"Symbolic Variable Declaration"
+    ~challenge:"Employ the length of argv[1] in conditions"
+    ~trigger:(Common.argv_trigger "silence")
+    "argvlen_bomb"
+    (Common.main_with_argv
+       [ mov rdi rbx;
+         call "strlen";
+         cmp rax (imm 7);
+         jne ".defused";
+         call "bomb" ])
+
+let all = [ time_bomb; web_bomb; sysret_bomb; argvlen_bomb ]

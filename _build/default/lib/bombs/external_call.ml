@@ -1,0 +1,60 @@
+(** External-function-call bombs (Table II rows 19–20, Fig. 2h): the
+    guard depends on values computed inside library code (libm's sin,
+    libc's srand/rand), whose conditional structure an executor must
+    either follow or model. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+let f64_bytes f =
+  let bits = Int64.bits_of_float f in
+  Asm.Ast.Bytes
+    (String.init 8 (fun i ->
+         Char.chr
+           (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)))
+
+(* s = sin(atoi(argv[1])); if (|s - sin(1)| < 1e-6) bomb();  -> "1" *)
+let sin_bomb =
+  Common.make ~category:"External Function Call"
+    ~challenge:"Employ symbolic values as the parameter of sin"
+    ~fig2:(Some "h")
+    ~trigger:(Common.argv_trigger "1")
+    "sin_bomb"
+    (Common.main_with_argv
+       ~data:
+         [ label "__sin_target"; f64_bytes (sin 1.0);
+           label "__sin_eps"; f64_bytes 1e-6 ]
+       [ mov rdi rbx;
+         call "atoi";
+         cvtsi2sd XMM0 rax;
+         call "sin";
+         lea rcx "__sin_target";
+         subsd XMM0 (Xmem (Isa.Insn.mem ~base:RCX ()));
+         call "fabs";
+         lea rcx "__sin_eps";
+         ucomisd XMM0 (Xmem (Isa.Insn.mem ~base:RCX ()));
+         jae ".defused";
+         call "bomb" ])
+
+(* srand(atoi(argv[1])); if (rand() == rand_after(12345)) bomb(); *)
+let srand_magic_seed = 12345L
+
+let srand_bomb =
+  let expected = Libc.Rand.first_rand srand_magic_seed in
+  Common.make ~category:"External Function Call"
+    ~challenge:"Employ symbolic values as the parameter of srand"
+    ~trigger:(Common.argv_trigger (Int64.to_string srand_magic_seed))
+    "srand_bomb"
+    (Common.main_with_argv
+       [ mov rdi rbx;
+         call "atoi";
+         mov rdi rax;
+         call "srand";
+         call "rand";
+         mov rcx (imm expected);
+         cmp rax rcx;
+         jne ".defused";
+         call "bomb" ])
+
+let all = [ sin_bomb; srand_bomb ]

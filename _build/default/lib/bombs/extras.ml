@@ -1,0 +1,71 @@
+(** Programs beyond the 22 Table II bombs that the paper's evaluation
+    narrative uses: the negative bomb (§V-C) and the Figure 3
+    external-constraint demonstration. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+let f64_bytes f =
+  let bits = Int64.bits_of_float f in
+  Asm.Ast.Bytes
+    (String.init 8 (fun i ->
+         Char.chr
+           (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)))
+
+(* if (pow(x, 2) == -1.0) bomb();  -- a constant-false predicate; the
+   paper shows Angr triggers it anyway because it lets external calls
+   return anything. *)
+let negative_bomb =
+  Common.make ~category:"Negative"
+    ~challenge:"Constant-false guard pow(x,2) == -1 (must NOT trigger)"
+    ~trigger:None
+    "negative_bomb"
+    (Common.main_with_argv
+       ~data:
+         [ label "__neg_two"; f64_bytes 2.0;
+           label "__neg_m1"; f64_bytes (-1.0) ]
+       [ mov rdi rbx;
+         call "atoi";
+         cvtsi2sd XMM0 rax;
+         lea rcx "__neg_two";
+         movsd XMM1 (Xmem (Isa.Insn.mem ~base:RCX ()));
+         call "pow";
+         lea rcx "__neg_m1";
+         ucomisd XMM0 (Xmem (Isa.Insn.mem ~base:RCX ()));
+         jne ".defused";
+         jp ".defused";
+         call "bomb" ])
+
+(* Figure 3: x = atoi(argv[1]); [printf("value=%d", x);]
+   if (x >= 0x32) bomb.  The print runs for every input (the paper
+   executes it with argv[1] = 7), dragging printf's formatting loop
+   into the tainted trace and multiplying the constraints on x. *)
+let fig3 ~with_print =
+  let name = if with_print then "fig3_print" else "fig3_noprint" in
+  let print_code =
+    if with_print then
+      [ lea rdi "__fig3_fmt";
+        mov rsi r12;
+        call "printf" ]
+    else []
+  in
+  Common.make ~category:"Demonstration"
+    ~challenge:"Figure 3: extra constraints from an external printf"
+    ~trigger:(Common.argv_trigger "50")
+    name
+    (Common.main_with_argv
+       ~data:(if with_print then [ label "__fig3_fmt"; asciz "value=%d\n" ]
+              else [])
+       ([ mov rdi rbx;
+          call "atoi";
+          mov r12 rax ]
+        @ print_code
+        @ [ cmp r12 (imm 0x32);
+            jl ".defused";
+            call "bomb" ]))
+
+let fig3_noprint = fig3 ~with_print:false
+let fig3_print = fig3 ~with_print:true
+
+let all = [ negative_bomb; fig3_noprint; fig3_print ]

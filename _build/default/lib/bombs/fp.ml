@@ -1,0 +1,49 @@
+(** Floating-point bomb (Table II row 18, Fig. 2g):
+    1024.0 + x == 1024.0 && x > 0 — unsatisfiable over the reals,
+    satisfiable over doubles when 0 < x < ulp(1024)/2. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+let f64_bytes f =
+  let bits = Int64.bits_of_float f in
+  Asm.Ast.Bytes
+    (String.init 8 (fun i ->
+         Char.chr
+           (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)))
+
+(* x = atoi(argv[1]) * 1e-15;
+   if (1024.0 + x == 1024.0 && x > 1e-13) bomb();
+   satisfiable only for x in (1e-13, ulp(1024)/2 = ~1.136e-13), i.e.
+   atoi(argv[1]) in [101 .. 113] — a window too narrow to hit by
+   luckily satisfying the integer part of the path predicate *)
+let float_bomb =
+  Common.make ~category:"Floating-point Number"
+    ~challenge:"Employ floating-point numbers in symbolic conditions"
+    ~fig2:(Some "g")
+    ~trigger:(Common.argv_trigger "105")
+    ~decoy:"5"
+    "float_bomb"
+    (Common.main_with_argv
+       ~data:
+         [ label "__fp_scale"; f64_bytes 1e-15;
+           label "__fp_base"; f64_bytes 1024.0;
+           label "__fp_floor"; f64_bytes 1e-13 ]
+       [ mov rdi rbx;
+         call "atoi";
+         cvtsi2sd XMM0 rax;
+         lea rcx "__fp_scale";
+         mulsd XMM0 (Xmem (Isa.Insn.mem ~base:RCX ()));  (* x *)
+         lea rcx "__fp_base";
+         movsd XMM1 (Xmem (Isa.Insn.mem ~base:RCX ()));
+         addsd XMM1 (Xreg XMM0);                         (* 1024 + x *)
+         lea rcx "__fp_base";
+         ucomisd XMM1 (Xmem (Isa.Insn.mem ~base:RCX ()));
+         jne ".defused";                                 (* != 1024 *)
+         lea rcx "__fp_floor";
+         ucomisd XMM0 (Xmem (Isa.Insn.mem ~base:RCX ()));
+         jbe ".defused";                                 (* x <= 1e-13 *)
+         call "bomb" ])
+
+let all = [ float_bomb ]

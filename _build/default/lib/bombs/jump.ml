@@ -1,0 +1,62 @@
+(** Symbolic-jump bombs (Table II rows 16–17, Fig. 2f): the symbolic
+    value decides the target of an *unconditional* control transfer,
+    so there is no conditional branch to negate. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+(* Size of an encoded direct jump: the landing offset that skips the
+   "defuse" jump and reaches the bomb call. *)
+let jmp_size = Isa.Codec.encoded_size (Isa.Insn.Jmp (Direct 0L))
+
+(* target = __jmp_base + atoi(argv[1]); jmp target.
+   offset 0        -> jmp .defused
+   offset jmp_size -> call bomb *)
+let jump_bomb =
+  Common.make ~category:"Symbolic Jump"
+    ~challenge:"Employ symbolic values as unconditional jump addresses"
+    ~fig2:(Some "f")
+    ~trigger:(Common.argv_trigger (string_of_int jmp_size))
+    "jump_bomb"
+    (Common.main_with_argv
+       [ mov rdi rbx;
+         call "atoi";
+         cmp rax (imm 64);
+         ja ".defused";                 (* keep the target inside main *)
+         mov_lbl rcx "__jmp_base";
+         add rcx rax;
+         jmp_ind rcx;
+         label "__jmp_base";
+         jmp ".defused";
+         call "bomb";
+         jmp ".defused" ])
+
+(* jump table of code addresses; entry 2 is the bomb *)
+let jumptable_bomb =
+  Common.make ~category:"Symbolic Jump"
+    ~challenge:"Employ symbolic values as offsets to an address array"
+    ~trigger:(Common.argv_trigger "2")
+    "jumptable_bomb"
+    (Common.main_with_argv
+       ~data:
+         [ label "__jt";
+           quad_lbls [ ".case_a"; ".case_b"; ".case_boom"; ".case_c" ] ]
+       [ mov rdi rbx;
+         call "atoi";
+         cmp rax (imm 3);
+         ja ".defused";
+         lea rcx "__jt";
+         mov rdx (mem ~base:RCX ~index:RAX ~scale:8 ());
+         jmp_ind rdx;
+         label ".case_a";
+         jmp ".defused";
+         label ".case_b";
+         jmp ".defused";
+         label ".case_boom";
+         call "bomb";
+         jmp ".defused";
+         label ".case_c";
+         jmp ".defused" ])
+
+let all = [ jump_bomb; jumptable_bomb ]

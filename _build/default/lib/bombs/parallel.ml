@@ -1,0 +1,86 @@
+(** Parallel-program bombs (Table II rows 10–11, Fig. 2d).
+
+    The symbolic value is transformed in another thread of control —
+    a pthread or a forked child talking over a pipe. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+(* shared = atoi(argv[1]); thread does shared += 29; join; ==99? *)
+let pthread_bomb =
+  Common.make ~category:"Parallel Program"
+    ~challenge:"Change symbolic values in multi-threads via pthread"
+    ~fig2:(Some "d")
+    ~trigger:(Common.argv_trigger "70")
+    "pthread_bomb"
+    ((Common.main_with_argv
+        ~bss:[ label "__shared"; space 8 ]
+        [ mov rdi rbx;
+          call "atoi";
+          lea rcx "__shared";
+          mov (mreg RCX) rax;
+          (* tid = pthread_create(worker, 0) *)
+          mov_lbl rdi "__worker";
+          xor rsi rsi;
+          call "pthread_create";
+          mov rdi rax;
+          call "pthread_join";
+          lea rcx "__shared";
+          mov rax (mreg RCX);
+          cmp rax (imm 99);
+          jne ".defused";
+          call "bomb" ])
+     |> fun o ->
+     { o with
+       text =
+         o.text
+         @ [ label "__worker";
+             lea rcx "__shared";
+             add (mreg RCX) (imm 29);
+             ret ] })
+
+(* the parent parses argv (so the input is visibly symbolic), the
+   forked child transforms it and pipes the result back; ==100? *)
+let fork_bomb =
+  Common.make ~category:"Parallel Program"
+    ~challenge:"Change symbolic values in multi-processes via fork/pipe"
+    ~trigger:(Common.argv_trigger "33")
+    "fork_bomb"
+    (Common.main_with_argv
+       ~bss:[ label "__fk_fds"; space 8; label "__fk_buf"; space 8 ]
+       [ mov rdi rbx;
+         call "atoi";
+         mov r12 rax;                   (* x, before the fork *)
+         lea rdi "__fk_fds";
+         call "pipe";
+         call "fork";
+         test rax rax;
+         jne ".parent";
+         (* child: y = 3 * x + 1 *)
+         mov rax r12;
+         imul rax (imm 3);
+         add rax (imm 1);
+         lea rcx "__fk_buf";
+         mov (mreg RCX) rax;
+         lea rax "__fk_fds";
+         mov ~w:W32 rdi (mreg ~disp:4 RAX);
+         lea rsi "__fk_buf";
+         mov rdx (imm 8);
+         call "write";
+         xor rdi rdi;
+         call "exit";
+         hlt;
+         label ".parent";
+         lea rax "__fk_fds";
+         mov ~w:W32 rdi (mreg RAX);
+         lea rsi "__fk_buf";
+         mov rdx (imm 8);
+         call "read";
+         lea rcx "__fk_buf";
+         mov rax (mreg RCX);
+         cmp rax (imm 100);
+         jne ".defused";
+         call "bomb" ])
+
+let all = [ pthread_bomb; fork_bomb ]

@@ -1,0 +1,1 @@
+lib/concolic/driver.pp.ml: Array Asm Bytes Char Error Hashtbl Int64 List Option Printf Queue Smt String Trace Trace_exec Vm

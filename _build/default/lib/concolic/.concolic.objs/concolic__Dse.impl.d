@@ -1,0 +1,1 @@
+lib/concolic/dse.pp.ml: Asm Buffer Bytes Char Error Hashtbl Int64 Ir Isa Libc List Printf Queue Smt State String Sym_exec Sys Vm

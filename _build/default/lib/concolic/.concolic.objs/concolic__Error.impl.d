@@ -1,0 +1,1 @@
+lib/concolic/error.pp.ml: List Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/concolic/simplify_env.pp.ml: Hashtbl Smt

@@ -1,0 +1,1 @@
+lib/concolic/state.pp.ml: Error Hashtbl Int64 List Obj Printf Simplify_env Smt

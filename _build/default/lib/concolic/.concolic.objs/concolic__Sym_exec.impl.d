@@ -1,0 +1,1 @@
+lib/concolic/sym_exec.pp.ml: Error Hashtbl Int64 Ir List Obj Smt State

@@ -1,0 +1,1 @@
+lib/concolic/trace_exec.pp.ml: Array Char Error Hashtbl Int64 Ir Isa List Printf Smt State String Sym_exec Taint Trace Vm

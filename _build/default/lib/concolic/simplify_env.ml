@@ -1,0 +1,3 @@
+(** A shared empty environment for constant folding. *)
+
+let empty : Smt.Eval.env = Hashtbl.create 1

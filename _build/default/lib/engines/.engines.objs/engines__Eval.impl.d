@@ -1,0 +1,1 @@
+lib/engines/eval.pp.ml: Bombs Buffer Concolic Grade List Paper Printf Profile String Taint Trace

@@ -1,0 +1,1 @@
+lib/engines/grade.pp.ml: Bombs Concolic List Profile Vm

@@ -1,0 +1,1 @@
+lib/engines/paper.pp.ml: Concolic List Profile

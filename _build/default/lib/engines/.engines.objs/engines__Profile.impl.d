@@ -1,0 +1,1 @@
+lib/engines/profile.pp.ml: Asm Bytes Char Concolic Int64 List Ppx_deriving_runtime Printexc Printf Smt String Trace Vm

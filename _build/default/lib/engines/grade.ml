@@ -1,0 +1,122 @@
+(** Grading and cell derivation.
+
+    A proposed input is replayed on the concrete machine in the bomb's
+    *neutral* environment; only a detonation counts.  The Table II
+    cell is then derived from the grading outcome plus the engine's
+    diagnostics using the paper's stage ordering — an error in an
+    early stage shadows later ones (§IV-A). *)
+
+open Concolic.Error
+
+type graded = {
+  cell : cell;
+  proposed : string option;
+  detonated : bool;
+  false_positive : bool;
+      (** engine claimed a dead bomb (the negative-bomb effect) *)
+  diags : diag list;
+  work : int;
+}
+
+let run_proposed (bomb : Bombs.Common.t) input =
+  let config = Bombs.Common.config_for ~winning:false bomb input in
+  Vm.Machine.run_image ~config (Bombs.Catalog.image bomb)
+
+let has_concretized diags =
+  List.exists
+    (function Concretized_load _ -> true | _ -> false)
+    diags
+
+let has_taint_loss diags =
+  List.exists (equal_diag Taint_lost_in_kernel) diags
+
+let has_sym_jump diags = List.exists (equal_diag Symbolic_jump_target) diags
+
+let has_signal diags = List.exists (equal_diag Signal_in_trace) diags
+
+let has_fp diags = List.exists (equal_diag Fp_constraint) diags
+
+let has_budget diags = List.exists (equal_diag Solver_budget) diags
+
+let has_unconstrained_input diags =
+  List.exists
+    (function
+      | Unconstrained_input _ | Unconstrained_external _
+      | Unsupported_syscall _ | Symbolic_syscall_number -> true
+      | _ -> false)
+    diags
+
+(** Stage attribution for a failed attempt, earliest stage first. *)
+let failed_stage (a : Profile.attempt) ~graded_failed : cell =
+  let d = a.diags in
+  let quiet =
+    (not (has_lift_failure d)) && (not (has_signal d))
+    && (not (has_taint_loss d)) && not (has_unconstrained_input d)
+  in
+  if graded_failed then
+    (* the tool believed in its input *)
+    if has_lift_failure d then Fail Es1
+    else if a.symbolic_branches = 0 && quiet then Fail Es0
+    else if has_unconstrained_syscall d then Partial
+    else if has_concretized d then Fail Es3
+    else if has_sym_jump d && a.trace_based then
+      (* Pin-class tools have no constraint-extraction mechanism for
+         computed jumps at all (paper §V-C) *)
+      Fail Es3
+    else Fail Es2
+  else if has_crash d then Abnormal
+  else if has_lift_failure d || has_signal d then Fail Es1
+  else if a.symbolic_branches = 0 && quiet then
+    (* the input never became symbolic anywhere relevant *)
+    Fail Es0
+  else if has_taint_loss d then Fail Es2
+  else if has_concretized d || has_sym_jump d || has_fp d then Fail Es3
+  else if a.budget_exhausted || has_budget d then Abnormal
+  else Fail Es2
+
+let grade (bomb : Bombs.Common.t) (a : Profile.attempt) : graded =
+  let dead = bomb.trigger = None in
+  match a.proposed with
+  | Some input -> (
+      let res = run_proposed bomb input in
+      let detonated = Bombs.Common.triggered res in
+      if detonated && not dead then
+        { cell = Success; proposed = a.proposed; detonated = true;
+          false_positive = false; diags = a.diags; work = a.work }
+      else if dead then
+        (* claiming any input for a dead bomb is a false positive *)
+        { cell = Partial; proposed = a.proposed; detonated;
+          false_positive = true; diags = a.diags; work = a.work }
+      else
+        { cell = failed_stage a ~graded_failed:true;
+          proposed = a.proposed; detonated = false; false_positive = false;
+          diags = a.diags; work = a.work })
+  | None ->
+    if a.crashed then
+      { cell = Abnormal; proposed = None; detonated = false;
+        false_positive = false; diags = a.diags; work = a.work }
+    else
+      { cell = failed_stage a ~graded_failed:false;
+        proposed = None; detonated = false; false_positive = false;
+        diags = a.diags; work = a.work }
+
+(** Run one tool on one bomb, end to end. *)
+let run_cell (tool : Profile.tool) (bomb : Bombs.Common.t) : graded =
+  let image = Bombs.Catalog.image bomb in
+  let run_config input =
+    Bombs.Common.config_for ~winning:false bomb input
+  in
+  let detonated res = Bombs.Common.triggered res in
+  let attempt =
+    match tool with
+    | Profile.Bap ->
+      (* driven from the triggering input (the paper's methodology) *)
+      let seed = Bombs.Common.winning_argv bomb in
+      Profile.run_bap ~image ~run_config ~seed
+    | Profile.Triton ->
+      Profile.run_triton ~image ~run_config ~detonated ~seed:bomb.decoy
+    | Profile.Angr -> Profile.run_angr ~mode:Concolic.Dse.With_libs ~image
+    | Profile.Angr_nolib ->
+      Profile.run_angr ~mode:Concolic.Dse.No_libs ~image
+  in
+  grade bomb attempt

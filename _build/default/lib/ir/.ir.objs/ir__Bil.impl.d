@@ -1,0 +1,1 @@
+lib/ir/bil.pp.ml: Int64 Ppx_deriving_runtime Smt

@@ -1,0 +1,1 @@
+lib/ir/lifter.pp.ml: Bil Int64 Isa List Printf Smt

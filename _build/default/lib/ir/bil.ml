@@ -1,0 +1,68 @@
+(** A BIL-flavoured intermediate language.
+
+    Expressions mirror the {!Smt.Expr} term language plus [Load];
+    variables name architectural state ("RAX", "ZF", "XMM0", ...) and
+    lifter temporaries ("t0", "t1", ...).  A symbolic executor turns a
+    Bil expression into an {!Smt.Expr} by substituting the current
+    symbolic state and resolving loads through its memory model. *)
+
+type exp =
+  | Var of string * int               (** name, width *)
+  | Int of int64 * int
+  | Load of exp * int                 (** little-endian, [n] bytes *)
+  | Unop of Smt.Expr.unop * exp
+  | Binop of Smt.Expr.binop * exp * exp
+  | Cmp of Smt.Expr.cmpop * exp * exp (** 1-bit result *)
+  | Ite of exp * exp * exp
+  | Extract of int * int * exp
+  | Concat of exp * exp
+  | Zext of int * exp
+  | Sext of int * exp
+  | Fbin of Smt.Expr.fbinop * exp * exp
+  | Fcmp of Smt.Expr.fcmpop * exp * exp
+  | Fsqrt of exp
+  | Fof_int of exp
+  | Fto_int of exp
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Set of string * int * exp         (** variable, width, value *)
+  | Store of exp * int * exp          (** address, bytes, value *)
+  | Cjmp of exp * int64               (** 1-bit cond; target if true *)
+  | Jmp of exp                        (** unconditional, maybe computed *)
+  | Syscall
+  | Special of string                 (** unliftable: raises Es1 *)
+[@@deriving show { with_path = false }, eq]
+
+let rec width_of_exp = function
+  | Var (_, w) | Int (_, w) -> w
+  | Load (_, n) -> 8 * n
+  | Unop (_, e) -> width_of_exp e
+  | Binop (_, a, _) -> width_of_exp a
+  | Cmp _ | Fcmp _ -> 1
+  | Ite (_, a, _) -> width_of_exp a
+  | Extract (hi, lo, _) -> hi - lo + 1
+  | Concat (a, b) -> width_of_exp a + width_of_exp b
+  | Zext (w, _) | Sext (w, _) -> w
+  | Fbin _ | Fsqrt _ | Fof_int _ -> 64
+  | Fto_int _ -> 64
+
+let rec has_load = function
+  | Load _ -> true
+  | Var _ | Int _ -> false
+  | Unop (_, e) | Extract (_, _, e) | Zext (_, e) | Sext (_, e)
+  | Fsqrt e | Fof_int e | Fto_int e -> has_load e
+  | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b) | Fbin (_, a, b)
+  | Fcmp (_, a, b) -> has_load a || has_load b
+  | Ite (c, a, b) -> has_load c || has_load a || has_load b
+
+(* conveniences used heavily by the lifter *)
+let i64 v = Int (v, 64)
+let int_ v w = Int (Int64.of_int v, w)
+let b0 = Int (0L, 1)
+let b1 = Int (1L, 1)
+let not1 e = Unop (Smt.Expr.Not, e)
+let and1 a b = Binop (Smt.Expr.And, a, b)
+let or1 a b = Binop (Smt.Expr.Or, a, b)
+let xor1 a b = Binop (Smt.Expr.Xor, a, b)
+let eq a b = Cmp (Smt.Expr.Eq, a, b)

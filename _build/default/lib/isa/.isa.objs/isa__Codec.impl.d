@@ -1,0 +1,1 @@
+lib/isa/codec.pp.ml: Buffer Char Insn Int64 Printf Reg String

@@ -1,0 +1,1 @@
+lib/isa/insn.pp.ml: List Ppx_deriving_runtime Reg String

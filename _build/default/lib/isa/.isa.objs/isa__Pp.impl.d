@@ -1,0 +1,1 @@
+lib/isa/pp.pp.ml: Fmt Insn List Option Printf Reg String

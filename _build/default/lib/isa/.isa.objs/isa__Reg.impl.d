@@ -1,0 +1,1 @@
+lib/isa/reg.pp.ml: List Ppx_deriving_runtime Printf String

@@ -1,0 +1,244 @@
+(** Binary encoder / decoder for VX64 instructions.
+
+    The encoding is byte-oriented and self-describing: one opcode byte,
+    then fixed-layout operand fields.  Immediates and displacements are
+    always 8 little-endian bytes, so the encoded size of an instruction
+    depends only on its shape, never on the value of a label — which is
+    what makes two-pass assembly (layout, then fixup) sound. *)
+
+exception Decode_error of string
+
+let decode_error fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let put_raw b n v =
+  for i = 0 to n - 1 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff)
+  done
+
+(* Immediates and displacements are 4 bytes (sign-extended) when the
+   value fits, else 8, with a one-byte size tag.  Link-time label
+   values always fit in 4 bytes, so encoded instruction size never
+   changes between layout and fixup. *)
+let put_i64 b v =
+  if v >= -0x8000_0000L && v < 0x8000_0000L then begin
+    put_u8 b 4;
+    put_raw b 4 v
+  end
+  else begin
+    put_u8 b 8;
+    put_raw b 8 v
+  end
+
+let put_reg b r = put_u8 b (Reg.index r)
+let put_xmm b x = put_u8 b (Reg.xmm_index x)
+let put_width b w = put_u8 b (Insn.width_to_enum w)
+let put_cond b c = put_u8 b (Insn.cond_to_enum c)
+
+let put_mem b ({ base; index; scale; disp } : Insn.mem) =
+  let flags =
+    (if base <> None then 1 else 0) lor (if index <> None then 2 else 0)
+  in
+  put_u8 b flags;
+  (match base with Some r -> put_reg b r | None -> ());
+  (match index with Some r -> put_reg b r | None -> ());
+  put_u8 b scale;
+  put_i64 b disp
+
+let put_operand b : Insn.operand -> unit = function
+  | Reg r -> put_u8 b 0; put_reg b r
+  | Imm v -> put_u8 b 1; put_i64 b v
+  | Mem m -> put_u8 b 2; put_mem b m
+
+let put_xsrc b : Insn.xsrc -> unit = function
+  | Xreg x -> put_u8 b 0; put_xmm b x
+  | Xmem m -> put_u8 b 1; put_mem b m
+
+let put_target b : Insn.target -> unit = function
+  | Direct a -> put_u8 b 0; put_i64 b a
+  | Indirect o -> put_u8 b 1; put_operand b o
+
+let encode_into b (i : Insn.t) =
+  let op n = put_u8 b n in
+  match i with
+  | Mov (w, d, s) -> op 0x01; put_width b w; put_operand b d; put_operand b s
+  | Movzx (dw, d, sw, s) ->
+    op 0x02; put_width b dw; put_reg b d; put_width b sw; put_operand b s
+  | Movsx (dw, d, sw, s) ->
+    op 0x03; put_width b dw; put_reg b d; put_width b sw; put_operand b s
+  | Lea (d, m) -> op 0x04; put_reg b d; put_mem b m
+  | Alu (o, w, d, s) ->
+    op 0x05; put_u8 b (Insn.binop_to_enum o); put_width b w;
+    put_operand b d; put_operand b s
+  | Not (w, o') -> op 0x06; put_width b w; put_operand b o'
+  | Neg (w, o') -> op 0x07; put_width b w; put_operand b o'
+  | Mul (w, o') -> op 0x08; put_width b w; put_operand b o'
+  | Idiv (w, o') -> op 0x09; put_width b w; put_operand b o'
+  | Cmp (w, a, c) -> op 0x0a; put_width b w; put_operand b a; put_operand b c
+  | Test (w, a, c) -> op 0x0b; put_width b w; put_operand b a; put_operand b c
+  | Jmp t -> op 0x0c; put_target b t
+  | Jcc (c, a) -> op 0x0d; put_cond b c; put_i64 b a
+  | Call t -> op 0x0e; put_target b t
+  | Ret -> op 0x0f
+  | Push o' -> op 0x10; put_operand b o'
+  | Pop o' -> op 0x11; put_operand b o'
+  | Setcc (c, o') -> op 0x12; put_cond b c; put_operand b o'
+  | Cmovcc (c, d, s) -> op 0x13; put_cond b c; put_reg b d; put_operand b s
+  | Syscall -> op 0x14
+  | Cvtsi2sd (x, o') -> op 0x15; put_xmm b x; put_operand b o'
+  | Cvttsd2si (r, xs) -> op 0x16; put_reg b r; put_xsrc b xs
+  | Movq_xr (x, o') -> op 0x17; put_xmm b x; put_operand b o'
+  | Movq_rx (o', x) -> op 0x18; put_operand b o'; put_xmm b x
+  | Movsd (x, xs) -> op 0x19; put_xmm b x; put_xsrc b xs
+  | Movsd_store (m, x) -> op 0x1a; put_mem b m; put_xmm b x
+  | Farith (f, x, xs) ->
+    op 0x1b; put_u8 b (Insn.farith_to_enum f); put_xmm b x; put_xsrc b xs
+  | Ucomisd (x, xs) -> op 0x1c; put_xmm b x; put_xsrc b xs
+  | Nop -> op 0x1d
+  | Hlt -> op 0x1e
+
+let encode i =
+  let b = Buffer.create 16 in
+  encode_into b i;
+  Buffer.contents b
+
+let encoded_size i = String.length (encode i)
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type cursor = { data : string; mutable pos : int }
+
+let take_u8 c =
+  if c.pos >= String.length c.data then decode_error "truncated at %d" c.pos;
+  let v = Char.code c.data.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let take_raw c n =
+  let v = ref 0L in
+  for i = 0 to n - 1 do
+    let byte = Int64.of_int (take_u8 c) in
+    v := Int64.logor !v (Int64.shift_left byte (8 * i))
+  done;
+  !v
+
+let take_i64 c =
+  match take_u8 c with
+  | 4 ->
+    (* sign-extend the 32-bit form *)
+    Int64.shift_right (Int64.shift_left (take_raw c 4) 32) 32
+  | 8 -> take_raw c 8
+  | n -> decode_error "bad immediate size %d at %d" n c.pos
+
+let take_reg c =
+  match Reg.of_enum (take_u8 c) with
+  | Some r -> r
+  | None -> decode_error "bad register at %d" c.pos
+
+let take_xmm c =
+  match Reg.xmm_of_enum (take_u8 c) with
+  | Some x -> x
+  | None -> decode_error "bad xmm register at %d" c.pos
+
+let take_width c =
+  match Insn.width_of_enum (take_u8 c) with
+  | Some w -> w
+  | None -> decode_error "bad width at %d" c.pos
+
+let take_cond c =
+  match Insn.cond_of_enum (take_u8 c) with
+  | Some cc -> cc
+  | None -> decode_error "bad cond at %d" c.pos
+
+let take_mem c : Insn.mem =
+  let flags = take_u8 c in
+  let base = if flags land 1 <> 0 then Some (take_reg c) else None in
+  let index = if flags land 2 <> 0 then Some (take_reg c) else None in
+  let scale = take_u8 c in
+  let disp = take_i64 c in
+  { base; index; scale; disp }
+
+let take_operand c : Insn.operand =
+  match take_u8 c with
+  | 0 -> Reg (take_reg c)
+  | 1 -> Imm (take_i64 c)
+  | 2 -> Mem (take_mem c)
+  | t -> decode_error "bad operand tag %d at %d" t c.pos
+
+let take_xsrc c : Insn.xsrc =
+  match take_u8 c with
+  | 0 -> Xreg (take_xmm c)
+  | 1 -> Xmem (take_mem c)
+  | t -> decode_error "bad xsrc tag %d at %d" t c.pos
+
+let take_target c : Insn.target =
+  match take_u8 c with
+  | 0 -> Direct (take_i64 c)
+  | 1 -> Indirect (take_operand c)
+  | t -> decode_error "bad target tag %d at %d" t c.pos
+
+let take_binop c =
+  match Insn.binop_of_enum (take_u8 c) with
+  | Some o -> o
+  | None -> decode_error "bad binop at %d" c.pos
+
+let take_farith c =
+  match Insn.farith_of_enum (take_u8 c) with
+  | Some f -> f
+  | None -> decode_error "bad farith at %d" c.pos
+
+let decode_cursor c : Insn.t =
+  match take_u8 c with
+  | 0x01 -> let w = take_width c in let d = take_operand c in
+    Mov (w, d, take_operand c)
+  | 0x02 -> let dw = take_width c in let d = take_reg c in
+    let sw = take_width c in Movzx (dw, d, sw, take_operand c)
+  | 0x03 -> let dw = take_width c in let d = take_reg c in
+    let sw = take_width c in Movsx (dw, d, sw, take_operand c)
+  | 0x04 -> let d = take_reg c in Lea (d, take_mem c)
+  | 0x05 -> let o = take_binop c in let w = take_width c in
+    let d = take_operand c in Alu (o, w, d, take_operand c)
+  | 0x06 -> let w = take_width c in Not (w, take_operand c)
+  | 0x07 -> let w = take_width c in Neg (w, take_operand c)
+  | 0x08 -> let w = take_width c in Mul (w, take_operand c)
+  | 0x09 -> let w = take_width c in Idiv (w, take_operand c)
+  | 0x0a -> let w = take_width c in let a = take_operand c in
+    Cmp (w, a, take_operand c)
+  | 0x0b -> let w = take_width c in let a = take_operand c in
+    Test (w, a, take_operand c)
+  | 0x0c -> Jmp (take_target c)
+  | 0x0d -> let cc = take_cond c in Jcc (cc, take_i64 c)
+  | 0x0e -> Call (take_target c)
+  | 0x0f -> Ret
+  | 0x10 -> Push (take_operand c)
+  | 0x11 -> Pop (take_operand c)
+  | 0x12 -> let cc = take_cond c in Setcc (cc, take_operand c)
+  | 0x13 -> let cc = take_cond c in let d = take_reg c in
+    Cmovcc (cc, d, take_operand c)
+  | 0x14 -> Syscall
+  | 0x15 -> let x = take_xmm c in Cvtsi2sd (x, take_operand c)
+  | 0x16 -> let r = take_reg c in Cvttsd2si (r, take_xsrc c)
+  | 0x17 -> let x = take_xmm c in Movq_xr (x, take_operand c)
+  | 0x18 -> let o = take_operand c in Movq_rx (o, take_xmm c)
+  | 0x19 -> let x = take_xmm c in Movsd (x, take_xsrc c)
+  | 0x1a -> let m = take_mem c in Movsd_store (m, take_xmm c)
+  | 0x1b -> let f = take_farith c in let x = take_xmm c in
+    Farith (f, x, take_xsrc c)
+  | 0x1c -> let x = take_xmm c in Ucomisd (x, take_xsrc c)
+  | 0x1d -> Nop
+  | 0x1e -> Hlt
+  | op -> decode_error "unknown opcode 0x%02x at %d" op (c.pos - 1)
+
+(** [decode data pos] decodes one instruction at byte offset [pos];
+    returns the instruction and the offset just past it. *)
+let decode data pos =
+  let c = { data; pos } in
+  let i = decode_cursor c in
+  (i, c.pos)

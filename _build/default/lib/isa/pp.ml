@@ -1,0 +1,62 @@
+(** Human-readable (Intel-flavoured) printing of VX64 instructions,
+    used by the disassembler and trace dumps. *)
+
+let pp_width ppf w =
+  Fmt.string ppf
+    (match (w : Insn.width) with
+     | W8 -> "byte" | W16 -> "word" | W32 -> "dword" | W64 -> "qword")
+
+let pp_mem ppf ({ base; index; scale; disp } : Insn.mem) =
+  let parts =
+    List.filter_map
+      (fun x -> x)
+      [ Option.map Reg.name base;
+        Option.map
+          (fun r ->
+             if scale = 1 then Reg.name r
+             else Printf.sprintf "%s*%d" (Reg.name r) scale)
+          index;
+        (if disp <> 0L || (base = None && index = None) then
+           Some (Printf.sprintf "0x%Lx" disp)
+         else None) ]
+  in
+  Fmt.pf ppf "[%s]" (String.concat " + " parts)
+
+let pp_operand ppf : Insn.operand -> unit = function
+  | Reg r -> Fmt.string ppf (Reg.name r)
+  | Imm v -> Fmt.pf ppf "0x%Lx" v
+  | Mem m -> pp_mem ppf m
+
+let pp_xsrc ppf : Insn.xsrc -> unit = function
+  | Xreg x -> Fmt.string ppf (Reg.xmm_name x)
+  | Xmem m -> pp_mem ppf m
+
+let pp_target ppf : Insn.target -> unit = function
+  | Direct a -> Fmt.pf ppf "0x%Lx" a
+  | Indirect o -> pp_operand ppf o
+
+let pp ppf (i : Insn.t) =
+  let m = Insn.mnemonic i in
+  match i with
+  | Mov (w, d, s) | Alu (_, w, d, s) | Cmp (w, d, s) | Test (w, d, s) ->
+    Fmt.pf ppf "%s %a %a, %a" m pp_width w pp_operand d pp_operand s
+  | Movzx (dw, d, sw, s) | Movsx (dw, d, sw, s) ->
+    Fmt.pf ppf "%s %a %s, %a %a" m pp_width dw (Reg.name d) pp_width sw
+      pp_operand s
+  | Lea (d, mm) -> Fmt.pf ppf "%s %s, %a" m (Reg.name d) pp_mem mm
+  | Not (w, o) | Neg (w, o) | Mul (w, o) | Idiv (w, o) ->
+    Fmt.pf ppf "%s %a %a" m pp_width w pp_operand o
+  | Jmp t | Call t -> Fmt.pf ppf "%s %a" m pp_target t
+  | Jcc (_, a) -> Fmt.pf ppf "%s 0x%Lx" m a
+  | Ret | Syscall | Nop | Hlt -> Fmt.string ppf m
+  | Push o | Pop o | Setcc (_, o) -> Fmt.pf ppf "%s %a" m pp_operand o
+  | Cmovcc (_, d, s) -> Fmt.pf ppf "%s %s, %a" m (Reg.name d) pp_operand s
+  | Cvtsi2sd (x, o) | Movq_xr (x, o) ->
+    Fmt.pf ppf "%s %s, %a" m (Reg.xmm_name x) pp_operand o
+  | Cvttsd2si (r, xs) -> Fmt.pf ppf "%s %s, %a" m (Reg.name r) pp_xsrc xs
+  | Movq_rx (o, x) -> Fmt.pf ppf "%s %a, %s" m pp_operand o (Reg.xmm_name x)
+  | Movsd (x, xs) | Farith (_, x, xs) | Ucomisd (x, xs) ->
+    Fmt.pf ppf "%s %s, %a" m (Reg.xmm_name x) pp_xsrc xs
+  | Movsd_store (mm, x) -> Fmt.pf ppf "%s %a, %s" m pp_mem mm (Reg.xmm_name x)
+
+let to_string i = Fmt.str "%a" pp i

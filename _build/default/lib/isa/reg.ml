@@ -1,0 +1,47 @@
+(** General-purpose and SIMD registers of the VX64 instruction set.
+
+    VX64 is a compact x86-64-like machine language: sixteen 64-bit
+    general-purpose registers, eight 64-bit floating-point registers
+    (each holding one IEEE-754 double, standing in for the low lane of
+    an XMM register), an instruction pointer and a flags register. *)
+
+type t =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+[@@deriving show { with_path = false }, eq, ord, enum]
+
+(** Floating-point registers (one IEEE-754 double each). *)
+type xmm = XMM0 | XMM1 | XMM2 | XMM3 | XMM4 | XMM5 | XMM6 | XMM7
+[@@deriving show { with_path = false }, eq, ord, enum]
+
+let count = 16
+let xmm_count = 8
+
+let all =
+  [ RAX; RBX; RCX; RDX; RSI; RDI; RBP; RSP;
+    R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let all_xmm = [ XMM0; XMM1; XMM2; XMM3; XMM4; XMM5; XMM6; XMM7 ]
+
+let name r = String.lowercase_ascii (show r)
+let xmm_name x = String.lowercase_ascii (show_xmm x)
+
+let of_index i =
+  match of_enum i with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Reg.of_index: %d" i)
+
+let index = to_enum
+
+let xmm_of_index i =
+  match xmm_of_enum i with
+  | Some x -> x
+  | None -> invalid_arg (Printf.sprintf "Reg.xmm_of_index: %d" i)
+
+let xmm_index = xmm_to_enum
+
+let of_name s =
+  let s = String.lowercase_ascii s in
+  match List.find_opt (fun r -> name r = s) all with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Reg.of_name: %s" s)

@@ -1,0 +1,1 @@
+lib/libc/aes_asm.ml: Array Asm Char Isa Ocrypto Printf String

@@ -1,0 +1,1 @@
+lib/libc/math.ml: Asm Char Float Int64 Isa List String

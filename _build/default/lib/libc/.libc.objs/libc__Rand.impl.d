@@ -1,0 +1,1 @@
+lib/libc/rand.ml: Asm Int64 Isa

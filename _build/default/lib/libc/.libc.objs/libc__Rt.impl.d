@@ -1,0 +1,1 @@
+lib/libc/rt.ml: Asm Isa Sysno

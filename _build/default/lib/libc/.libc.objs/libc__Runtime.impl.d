@@ -1,0 +1,1 @@
+lib/libc/runtime.ml: Aes_asm Asm Math Rand Rt Sha1_asm Stdio Str Threads

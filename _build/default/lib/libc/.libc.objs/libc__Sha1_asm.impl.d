@@ -1,0 +1,1 @@
+lib/libc/sha1_asm.ml: Asm Isa List

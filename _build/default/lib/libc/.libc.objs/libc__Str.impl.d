@@ -1,0 +1,1 @@
+lib/libc/str.ml: Asm Char Isa

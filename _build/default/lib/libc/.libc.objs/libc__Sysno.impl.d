@@ -1,0 +1,1 @@
+lib/libc/sysno.ml: List Printf

@@ -1,0 +1,1 @@
+lib/libc/threads.ml: Asm Isa Sysno

@@ -1,0 +1,198 @@
+(** Guest AES-128 single-block encryption.
+
+    aes128_encrypt(in rdi, key rsi, out rdx).  Tables (S-box, Rcon,
+    ShiftRows permutation) are generated from the host reference
+    implementation {!Ocrypto.Aes}, so guest and host agree by
+    construction. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+
+
+let rcon_string =
+  String.init 10 (fun i -> Char.chr Ocrypto.Aes.rcon.(i))
+
+let shift_string =
+  String.init 16 (fun i -> Char.chr Ocrypto.Aes.shift_row_src.(i))
+
+(* xtime of the low byte of [r] in place; [fresh] generates unique
+   local labels for the conditional reduction. *)
+let counter = ref 0
+
+let xtime r =
+  incr counter;
+  let skip = Printf.sprintf ".aes_xt_%d" !counter in
+  [ shl r (imm 1);
+    test r (imm 0x100);
+    je skip;
+    xor r (imm 0x1b);
+    label skip;
+    and_ r (imm 0xff) ]
+
+(* one output byte of MixColumns: n_i = a_i ^ t ^ xtime(a_i ^ a_next);
+   a_i in [ai], a_next in [anext], t in rsi; stores at [rbx+rcx+off] *)
+let mix_byte ai anext off =
+  [ mov rax ai; xor rax anext ]
+  @ xtime rax
+  @ [ xor rax ai;
+      xor rax rsi;
+      mov ~w:W8 (mem ~base:RBX ~index:RCX ~disp:off ()) rax ]
+
+let aes : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~data:
+      [ label "__aes_sbox"; Asm.Ast.Bytes Ocrypto.Aes.sbox_string;
+        label "__aes_rcon"; Asm.Ast.Bytes rcon_string;
+        label "__aes_shift"; Asm.Ast.Bytes shift_string ]
+    ~bss:
+      [ label "__aes_rk"; space 176;
+        label "__aes_st"; space 16;
+        label "__aes_tmp"; space 16 ]
+    ([ label "aes128_encrypt";
+       push rbx; push r12; push r13; push r14; push r15;
+       mov r12 rdi;                      (* in *)
+       mov r13 rsi;                      (* key *)
+       mov r14 rdx;                      (* out *)
+       (* ---- key expansion ---- *)
+       lea rdi "__aes_rk";
+       mov rsi r13;
+       mov rdx (imm 16);
+       call "memcpy";
+       lea rbx "__aes_rk";
+       mov rcx (imm 4);                  (* word index *)
+       label ".aes_kexp";
+       cmp rcx (imm 44);
+       jae ".aes_kexp_done";
+       movzx r8 ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-4) ());
+       movzx r9 ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-3) ());
+       movzx r10 ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-2) ());
+       movzx r11 ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-1) ());
+       mov rax rcx;
+       and_ rax (imm 3);
+       test rax rax;
+       jne ".aes_kexp_xor";
+       (* RotWord + SubWord + Rcon *)
+       mov rax r8;
+       mov r8 r9; mov r9 r10; mov r10 r11; mov r11 rax;
+       lea rdx "__aes_sbox";
+       movzx r8 ~sw:W8 (mem ~base:RDX ~index:R8 ());
+       movzx r9 ~sw:W8 (mem ~base:RDX ~index:R9 ());
+       movzx r10 ~sw:W8 (mem ~base:RDX ~index:R10 ());
+       movzx r11 ~sw:W8 (mem ~base:RDX ~index:R11 ());
+       lea rdx "__aes_rcon";
+       mov rax rcx;
+       shr rax (imm 2);
+       movzx rax ~sw:W8 (mem ~base:RDX ~index:RAX ~disp:(-1) ());
+       xor r8 rax;
+       label ".aes_kexp_xor";
+       movzx rax ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-16) ());
+       xor rax r8;
+       mov ~w:W8 (mem ~base:RBX ~index:RCX ~scale:4 ()) rax;
+       movzx rax ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-15) ());
+       xor rax r9;
+       mov ~w:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:1 ()) rax;
+       movzx rax ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-14) ());
+       xor rax r10;
+       mov ~w:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:2 ()) rax;
+       movzx rax ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:(-13) ());
+       xor rax r11;
+       mov ~w:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:3 ()) rax;
+       add rcx (imm 1);
+       jmp ".aes_kexp";
+       label ".aes_kexp_done";
+       (* ---- rounds ---- *)
+       lea rdi "__aes_st";
+       mov rsi r12;
+       mov rdx (imm 16);
+       call "memcpy";
+       mov rdi (imm 0);
+       call "__aes_ark";
+       mov r15 (imm 1);
+       label ".aes_rounds";
+       cmp r15 (imm 10);
+       jae ".aes_last";
+       call "__aes_subshift";
+       call "__aes_mix";
+       mov rdi r15;
+       call "__aes_ark";
+       add r15 (imm 1);
+       jmp ".aes_rounds";
+       label ".aes_last";
+       call "__aes_subshift";
+       mov rdi (imm 10);
+       call "__aes_ark";
+       mov rdi r14;
+       lea rsi "__aes_st";
+       mov rdx (imm 16);
+       call "memcpy";
+       pop r15; pop r14; pop r13; pop r12; pop rbx;
+       ret;
+
+       (* AddRoundKey: st[j] ^= rk[16*round + j] *)
+       label "__aes_ark";
+       lea rax "__aes_rk";
+       mov rcx rdi;
+       shl rcx (imm 4);
+       add rax rcx;
+       lea rdx "__aes_st";
+       xor rcx rcx;
+       label ".aes_ark_loop";
+       cmp rcx (imm 16);
+       jae ".aes_ark_done";
+       movzx r8 ~sw:W8 (mem ~base:RAX ~index:RCX ());
+       xor ~w:W8 (mem ~base:RDX ~index:RCX ()) r8;
+       add rcx (imm 1);
+       jmp ".aes_ark_loop";
+       label ".aes_ark_done";
+       ret;
+
+       (* SubBytes + ShiftRows via the permutation table *)
+       label "__aes_subshift";
+       lea rax "__aes_st";
+       lea rdx "__aes_tmp";
+       lea r8 "__aes_shift";
+       lea r9 "__aes_sbox";
+       xor rcx rcx;
+       label ".aes_ss_loop";
+       cmp rcx (imm 16);
+       jae ".aes_ss_copy";
+       movzx r10 ~sw:W8 (mem ~base:R8 ~index:RCX ());
+       movzx r10 ~sw:W8 (mem ~base:RAX ~index:R10 ());
+       movzx r10 ~sw:W8 (mem ~base:R9 ~index:R10 ());
+       mov ~w:W8 (mem ~base:RDX ~index:RCX ()) r10;
+       add rcx (imm 1);
+       jmp ".aes_ss_loop";
+       label ".aes_ss_copy";
+       lea rdi "__aes_st";
+       lea rsi "__aes_tmp";
+       mov rdx (imm 16);
+       call "memcpy";
+       ret;
+
+       (* MixColumns *)
+       label "__aes_mix";
+       lea rbx "__aes_st";
+       xor rcx rcx;
+       label ".aes_mix_col";
+       cmp rcx (imm 16);
+       jae ".aes_mix_done";
+       movzx r8 ~sw:W8 (mem ~base:RBX ~index:RCX ());
+       movzx r9 ~sw:W8 (mem ~base:RBX ~index:RCX ~disp:1 ());
+       movzx r10 ~sw:W8 (mem ~base:RBX ~index:RCX ~disp:2 ());
+       movzx r11 ~sw:W8 (mem ~base:RBX ~index:RCX ~disp:3 ());
+       mov rsi r8;
+       xor rsi r9;
+       xor rsi r10;
+       xor rsi r11 ]
+     @ mix_byte r8 r9 0
+     @ mix_byte r9 r10 1
+     @ mix_byte r10 r11 2
+     @ mix_byte r11 r8 3
+     @ [ add rcx (imm 4);
+         jmp ".aes_mix_col";
+         label ".aes_mix_done";
+         ret ])
+
+let all = [ aes ]

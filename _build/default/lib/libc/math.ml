@@ -1,0 +1,95 @@
+(** Guest libm: sin, pow, fabs, sqrt.
+
+    [sin] range-reduces modulo 2π then evaluates a 13-term odd Taylor
+    polynomial with Horner's rule — every iteration runs [mulsd]/
+    [addsd]/[cvtsi2sd]-class instructions, so engines without
+    floating-point lifting fail inside it (the paper's Es1 rows). *)
+
+open Asm.Ast.Dsl
+open Isa.Reg
+
+(* 8 little-endian bytes of a float constant *)
+let f64_bytes f =
+  let bits = Int64.bits_of_float f in
+  Asm.Ast.Bytes
+    (String.init 8 (fun i ->
+         Char.chr
+           (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xff)))
+
+(* sin coefficients c_k = (-1)^k / (2k+1)!, k = 0..12 *)
+let sin_coeffs =
+  let rec fact n = if n <= 1 then 1.0 else float_of_int n *. fact (n - 1) in
+  List.init 13 (fun k ->
+      let c = 1.0 /. fact (2 * k + 1) in
+      if k mod 2 = 0 then c else -.c)
+
+(* The DSL cannot reference a label inside an Xmem displacement, so FP
+   constant accesses materialise the address with [lea] first. *)
+let sin_ : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~data:
+      ([ label "__twopi"; f64_bytes (2.0 *. Float.pi);
+         label "__sin_coeffs" ]
+       @ List.map f64_bytes sin_coeffs)
+    [ label "sin";
+      lea rax "__twopi";
+      (* r = x - 2pi * trunc(x / 2pi) *)
+      movsd XMM1 (Xreg XMM0);
+      divsd XMM1 (Xmem (Isa.Insn.mem ~base:RAX ()));
+      cvttsd2si rcx (Xreg XMM1);
+      cvtsi2sd XMM2 rcx;
+      mulsd XMM2 (Xmem (Isa.Insn.mem ~base:RAX ()));
+      subsd XMM0 (Xreg XMM2);            (* xmm0 = r *)
+      (* u = r * r *)
+      movsd XMM1 (Xreg XMM0);
+      mulsd XMM1 (Xreg XMM0);            (* xmm1 = u *)
+      (* Horner: acc = c12; for i = 11..0: acc = acc*u + c[i] *)
+      lea rax "__sin_coeffs";
+      mov rcx (imm 12);
+      movsd XMM2 (Xmem (Isa.Insn.mem ~base:RAX ~index:RCX ~scale:8 ()));
+      label ".sin_horner";
+      test rcx rcx;
+      je ".sin_fin";
+      sub rcx (imm 1);
+      mulsd XMM2 (Xreg XMM1);
+      addsd XMM2 (Xmem (Isa.Insn.mem ~base:RAX ~index:RCX ~scale:8 ()));
+      jmp ".sin_horner";
+      label ".sin_fin";
+      mulsd XMM0 (Xreg XMM2);            (* r * P(u) *)
+      ret ]
+
+(* pow(x xmm0, y xmm1) -> xmm0, for integral y >= 0 (the bombs use
+   pow(x, 2)). *)
+let pow_ : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~data:[ label "__one"; f64_bytes 1.0 ]
+    [ label "pow";
+      cvttsd2si rcx (Xreg XMM1);
+      lea rax "__one";
+      movsd XMM2 (Xmem (Isa.Insn.mem ~base:RAX ()));
+      label ".pow_loop";
+      test rcx rcx;
+      je ".pow_done";
+      mulsd XMM2 (Xreg XMM0);
+      sub rcx (imm 1);
+      jmp ".pow_loop";
+      label ".pow_done";
+      movsd XMM0 (Xreg XMM2);
+      ret ]
+
+let fabs_ : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "fabs";
+      movq_rx rax XMM0;
+      shl rax (imm 1);
+      shr rax (imm 1);
+      movq_xr XMM0 rax;
+      ret ]
+
+let sqrt_ : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "sqrt";
+      sqrtsd XMM0 (Xreg XMM0);
+      ret ]
+
+let all = [ sin_; pow_; fabs_; sqrt_ ]

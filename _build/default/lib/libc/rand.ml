@@ -1,0 +1,45 @@
+(** Guest srand/rand: a 64-bit LCG matching glibc's general shape
+    (multiplier from Knuth MMIX).  The host-side {!host_rand} mirror is
+    used by tests and by the evaluation grader to predict guest
+    outputs. *)
+
+open Asm.Ast.Dsl
+open Isa.Reg
+
+let multiplier = 6364136223846793005L
+let increment = 1442695040888963407L
+
+let srand_rand : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~bss:[ label "__rand_state"; space 8 ]
+    [ label "srand";
+      lea rax "__rand_state";
+      mov (mreg RAX) rdi;
+      ret;
+      label "rand";
+      lea rcx "__rand_state";
+      mov rax (mreg RCX);
+      mov r8 (imm64 multiplier);
+      imul rax r8;
+      mov r8 (imm64 increment);
+      add rax r8;
+      mov (mreg RCX) rax;
+      shr rax (imm 33);
+      mov r8 (imm 0x7fffffff);
+      and_ rax r8;
+      ret ]
+
+(** Host-side mirror of one [srand seed; rand ()] step. *)
+let host_rand_state seed = ref seed
+
+let host_rand state =
+  state := Int64.add (Int64.mul !state multiplier) increment;
+  Int64.to_int
+    (Int64.logand (Int64.shift_right_logical !state 33) 0x7fffffffL)
+
+(** The first value [rand ()] returns after [srand seed]. *)
+let first_rand seed =
+  let st = host_rand_state seed in
+  host_rand st
+
+let all = [ srand_rand ]

@@ -1,0 +1,71 @@
+(** Guest runtime core: program entry, exit, and raw syscall wrappers.
+
+    Calling convention (SysV-flavoured): integer args in RDI, RSI, RDX,
+    RCX; result in RAX; RBX, RBP, R12–R15 are callee-saved.  FP args
+    and results use XMM0/XMM1. *)
+
+open Asm.Ast.Dsl
+
+let syscall_nr = Sysno.syscall_nr
+
+(* A syscall wrapper with up to 3 arguments already in place
+   (rdi/rsi/rdx), just sets RAX and traps. *)
+let wrapper name nr =
+  [ label name;
+    mov rax (imm nr);
+    syscall;
+    ret ]
+
+let crt0 : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "_start";
+      mov rdi (mreg Isa.Reg.RSP);            (* argc *)
+      lea_m rsi (mem ~base:Isa.Reg.RSP ~disp:8 ()); (* argv *)
+      call "main";
+      mov rdi rax;
+      call "exit";
+      hlt ]
+
+let exit_ : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "exit";
+      mov rax (imm (syscall_nr "exit"));
+      syscall;
+      hlt ]
+
+let io_wrappers : Asm.Ast.obj =
+  Asm.Ast.obj
+    (wrapper "read" (syscall_nr "read")
+     @ wrapper "write" (syscall_nr "write")
+     @ wrapper "open" (syscall_nr "open")
+     @ wrapper "close" (syscall_nr "close")
+     @ wrapper "lseek" (syscall_nr "lseek")
+     @ wrapper "pipe" (syscall_nr "pipe")
+     @ wrapper "fork" (syscall_nr "fork")
+     @ wrapper "wait" (syscall_nr "wait4")
+     @ wrapper "getpid" (syscall_nr "getpid")
+     @ wrapper "getuid" (syscall_nr "getuid")
+     @ wrapper "gettimeofday" (syscall_nr "gettimeofday")
+     @ wrapper "signal" (syscall_nr "rt_sigaction")
+     @ wrapper "getrandom" (syscall_nr "getrandom")
+     @ wrapper "socket" (syscall_nr "socket")
+     @ wrapper "connect" (syscall_nr "connect")
+     @ [ label "time";
+         mov rax (imm (syscall_nr "time"));
+         syscall;
+         ret ])
+
+(** [raw_syscall (nr, a0, a1, a2)]: guest function `syscall3` taking
+    the syscall number as first argument — used by the "symbolic values
+    as the name of a system call" bomb. *)
+let syscall3 : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "syscall3";
+      mov rax rdi;
+      mov rdi rsi;
+      mov rsi rdx;
+      mov rdx rcx;
+      syscall;
+      ret ]
+
+let all = [ crt0; exit_; io_wrappers; syscall3 ]

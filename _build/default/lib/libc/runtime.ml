@@ -1,0 +1,46 @@
+(** The guest runtime, grouped the way the paper groups shared
+    libraries: [libc] (startup, string, stdio, rand, threads, net),
+    [libm] (sin/pow/fabs/sqrt), and [libcrypto] (SHA-1, AES-128).
+
+    Bombs link [Libc.libs] (everything); engines running in "no
+    dynamic libraries" mode treat symbols from these objects as
+    unhooked externals. *)
+
+open Asm.Ast.Dsl
+
+(* http_get(buf rdi, len rsi) -> bytes read from the "web" *)
+let net : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "http_get";
+      push rbx; push r12; push r13;
+      mov rbx rdi;
+      mov r12 rsi;
+      xor rdi rdi;
+      xor rsi rsi;
+      xor rdx rdx;
+      call "socket";
+      mov r13 rax;
+      mov rdi r13;
+      xor rsi rsi;
+      xor rdx rdx;
+      call "connect";
+      mov rdi r13;
+      mov rsi rbx;
+      mov rdx r12;
+      call "read";
+      pop r13; pop r12; pop rbx;
+      ret ]
+
+let libc : Asm.Ast.obj list =
+  Rt.all @ Str.all @ Stdio.all @ Rand.all @ Threads.all @ [ net ]
+
+let libm : Asm.Ast.obj list = Math.all
+
+let libcrypto : Asm.Ast.obj list = Sha1_asm.all @ Aes_asm.all
+
+(** Everything, in link order. *)
+let libs : Asm.Ast.obj list = libc @ libm @ libcrypto
+
+(** Link a program object against the full runtime. *)
+let link_with_libs ?(entry = "_start") prog =
+  Asm.Link.link ~libs ~entry prog

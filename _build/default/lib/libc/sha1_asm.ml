@@ -1,0 +1,183 @@
+(** Guest SHA-1 (single block, message length <= 55 bytes — enough for
+    any argv-sized input the crypto bomb hashes).
+
+    sha1(data rdi, len rsi, out rdx): writes the 20-byte digest.
+    The 80-round compression loop is real guest code, so a concrete
+    trace through it contains tens of thousands of tainted
+    instructions — the paper's crypto-function scalability challenge. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+
+
+let h0 = 0x67452301L
+let h1 = 0xEFCDAB89L
+let h2 = 0x98BADCFEL
+let h3 = 0x10325476L
+let h4 = 0xC3D2E1F0L
+
+let k1 = 0x5A827999L
+let k2 = 0x6ED9EBA1L
+let k3 = 0x8F1BBCDCL
+let k4 = 0xCA62C1D6L
+
+
+(* rotl32 of [src] by [n] into [src], using [tmp] as scratch *)
+let rotl32 src tmp n =
+  [ mov tmp src;
+    shl ~w:W32 src (imm n);
+    shr ~w:W32 tmp (imm (32 - n));
+    or_ ~w:W32 src tmp ]
+
+(* store the low 32 bits of [src] big-endian at [base+off] *)
+let store_be32 base src off =
+  List.concat_map
+    (fun (shift, d) ->
+       [ mov rax src;
+         shr rax (imm shift);
+         mov ~w:W8 (mem ~base ~disp:(off + d) ()) rax ])
+    [ (24, 0); (16, 1); (8, 2); (0, 3) ]
+
+let sha1 : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~bss:
+      [ label "__sha1_block"; space 64;
+        label "__sha1_w"; space 320 ]
+    ([ label "sha1";
+       push rbx; push r12; push r13; push r14; push r15;
+       mov r12 rdi;                      (* data *)
+       mov r13 rsi;                      (* len *)
+       mov r14 rdx;                      (* out *)
+       (* pad: zero the block, copy, 0x80 marker, bit length at 62/63 *)
+       lea rdi "__sha1_block";
+       mov rsi (imm 0);
+       mov rdx (imm 64);
+       call "memset";
+       lea rdi "__sha1_block";
+       mov rsi r12;
+       mov rdx r13;
+       call "memcpy";
+       lea rax "__sha1_block";
+       mov ~w:W8 (mem ~base:RAX ~index:R13 ()) (imm 0x80);
+       mov rdx r13;
+       shl rdx (imm 3);
+       mov rcx rdx;
+       shr rcx (imm 8);
+       mov ~w:W8 (mem ~base:RAX ~disp:62 ()) rcx;
+       mov ~w:W8 (mem ~base:RAX ~disp:63 ()) rdx;
+       (* message schedule w[0..15]: big-endian words of the block *)
+       lea rbx "__sha1_block";
+       lea r13 "__sha1_w";
+       xor rcx rcx;
+       label ".sha1_msg";
+       cmp rcx (imm 16);
+       jae ".sha1_expand";
+       movzx rdx ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ());
+       shl rdx (imm 8);
+       movzx rax ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:1 ());
+       or_ rdx rax;
+       shl rdx (imm 8);
+       movzx rax ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:2 ());
+       or_ rdx rax;
+       shl rdx (imm 8);
+       movzx rax ~sw:W8 (mem ~base:RBX ~index:RCX ~scale:4 ~disp:3 ());
+       or_ rdx rax;
+       mov ~w:W32 (mem ~base:R13 ~index:RCX ~scale:4 ()) rdx;
+       add rcx (imm 1);
+       jmp ".sha1_msg";
+       (* w[i] = rotl1(w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16]) *)
+       label ".sha1_expand";
+       cmp rcx (imm 80);
+       jae ".sha1_init";
+       mov ~w:W32 rax (mem ~base:R13 ~index:RCX ~scale:4 ~disp:(-12) ());
+       xor ~w:W32 rax (mem ~base:R13 ~index:RCX ~scale:4 ~disp:(-32) ());
+       xor ~w:W32 rax (mem ~base:R13 ~index:RCX ~scale:4 ~disp:(-56) ());
+       xor ~w:W32 rax (mem ~base:R13 ~index:RCX ~scale:4 ~disp:(-64) ()) ]
+     @ rotl32 rax rdx 1
+     @ [ mov ~w:W32 (mem ~base:R13 ~index:RCX ~scale:4 ()) rax;
+         add rcx (imm 1);
+         jmp ".sha1_expand";
+         (* initialise working registers *)
+         label ".sha1_init";
+         mov r8 (imm64 h0);
+         mov r9 (imm64 h1);
+         mov r10 (imm64 h2);
+         mov r11 (imm64 h3);
+         mov r12 (imm64 h4);
+         xor rcx rcx;
+         label ".sha1_round";
+         cmp rcx (imm 80);
+         jae ".sha1_final";
+         cmp rcx (imm 20);
+         jb ".sha1_f1";
+         cmp rcx (imm 40);
+         jb ".sha1_f2";
+         cmp rcx (imm 60);
+         jb ".sha1_f3";
+         (* f4 = b ^ c ^ d *)
+         mov rax r9;
+         xor rax r10;
+         xor rax r11;
+         mov r15 (imm64 k4);
+         jmp ".sha1_have_f";
+         label ".sha1_f1";              (* (b & c) | (~b & d) *)
+         mov rax r9;
+         and_ rax r10;
+         mov rdx r9;
+         not_ rdx;
+         and_ rdx r11;
+         or_ rax rdx;
+         mov r15 (imm64 k1);
+         jmp ".sha1_have_f";
+         label ".sha1_f2";              (* b ^ c ^ d *)
+         mov rax r9;
+         xor rax r10;
+         xor rax r11;
+         mov r15 (imm64 k2);
+         jmp ".sha1_have_f";
+         label ".sha1_f3";              (* (b&c) | (b&d) | (c&d) *)
+         mov rax r9;
+         and_ rax r10;
+         mov rdx r9;
+         and_ rdx r11;
+         or_ rax rdx;
+         mov rdx r10;
+         and_ rdx r11;
+         or_ rax rdx;
+         mov r15 (imm64 k3);
+         label ".sha1_have_f";
+         (* temp = rotl5(a) + f + e + k + w[i] *)
+         mov rdx r8 ]
+     @ rotl32 rdx rbx 5
+     @ [ add ~w:W32 rdx rax;
+         add ~w:W32 rdx r12;
+         add ~w:W32 rdx r15;
+         mov ~w:W32 rbx (mem ~base:R13 ~index:RCX ~scale:4 ());
+         add ~w:W32 rdx rbx;
+         (* rotate the working registers *)
+         mov r12 r11;
+         mov r11 r10;
+         mov r10 r9 ]
+     @ rotl32 r10 rbx 30
+     @ [ mov r9 r8;
+         mov r8 rdx;
+         add rcx (imm 1);
+         jmp ".sha1_round";
+         (* h += working registers; emit big-endian digest *)
+         label ".sha1_final";
+         mov rbx (imm64 h0); add ~w:W32 r8 rbx;
+         mov rbx (imm64 h1); add ~w:W32 r9 rbx;
+         mov rbx (imm64 h2); add ~w:W32 r10 rbx;
+         mov rbx (imm64 h3); add ~w:W32 r11 rbx;
+         mov rbx (imm64 h4); add ~w:W32 r12 rbx ]
+     @ store_be32 R14 r8 0
+     @ store_be32 R14 r9 4
+     @ store_be32 R14 r10 8
+     @ store_be32 R14 r11 12
+     @ store_be32 R14 r12 16
+     @ [ pop r15; pop r14; pop r13; pop r12; pop rbx;
+         ret ])
+
+let all = [ sha1 ]

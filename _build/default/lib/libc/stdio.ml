@@ -1,0 +1,196 @@
+(** Guest stdio: puts, putchar, and a printf subset (%d %x %s %c %%).
+
+    printf is a genuine guest-side formatting loop — dozens of
+    conditional branches execute per call, which is exactly the
+    "external function calls enlarge code complexity" effect the
+    paper's Figure 3 measures. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+
+
+
+(* itoa(value rdi, buf rsi) -> rax = length written (with '-'). *)
+let itoa : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~bss:[ label "__itoa_tmp"; space 32 ]
+    [ label "itoa";
+      xor r8 r8;
+      test rdi rdi;
+      jns ".itoa_conv";
+      mov r8 (imm 1);
+      neg rdi;
+      label ".itoa_conv";
+      lea r9 "__itoa_tmp";
+      xor rcx rcx;
+      label ".itoa_digit";
+      mov rax rdi;
+      mov r10 (imm 10);
+      idiv r10;                          (* rax = q, rdx = rem *)
+      add rdx (imm (Char.code '0'));
+      mov ~w:W8 (mem ~base:R9 ~index:RCX ()) rdx;
+      add rcx (imm 1);
+      mov rdi rax;
+      test rdi rdi;
+      jne ".itoa_digit";
+      xor rax rax;
+      test r8 r8;
+      je ".itoa_rev";
+      mov ~w:W8 (mreg RSI) (imm (Char.code '-'));
+      add rax (imm 1);
+      label ".itoa_rev";
+      test rcx rcx;
+      je ".itoa_done";
+      sub rcx (imm 1);
+      movzx rdx ~sw:W8 (mem ~base:R9 ~index:RCX ());
+      mov ~w:W8 (mem ~base:RSI ~index:RAX ()) rdx;
+      add rax (imm 1);
+      jmp ".itoa_rev";
+      label ".itoa_done";
+      ret ]
+
+(* itoh(value rdi, buf rsi) -> rax = length; lowercase hex, no
+   leading zeros (except a lone 0). *)
+let itoh : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "itoh";
+      mov rcx (imm 60);
+      xor rax rax;
+      xor r9 r9;
+      label ".itoh_loop";
+      mov rdx rdi;
+      shr rdx rcx;
+      and_ rdx (imm 15);
+      test r9 r9;
+      jne ".itoh_emit";
+      test rdx rdx;
+      jne ".itoh_emit";
+      test rcx rcx;
+      je ".itoh_emit";                   (* always emit the last nibble *)
+      jmp ".itoh_next";
+      label ".itoh_emit";
+      mov r9 (imm 1);
+      cmp rdx (imm 10);
+      jb ".itoh_digit";
+      add rdx (imm (Char.code 'a' - 10));
+      jmp ".itoh_store";
+      label ".itoh_digit";
+      add rdx (imm (Char.code '0'));
+      label ".itoh_store";
+      mov ~w:W8 (mem ~base:RSI ~index:RAX ()) rdx;
+      add rax (imm 1);
+      label ".itoh_next";
+      sub rcx (imm 4);
+      jns ".itoh_loop";
+      ret ]
+
+let putchar : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~bss:[ label "__putchar_buf"; space 1 ]
+    [ label "putchar";
+      lea rax "__putchar_buf";
+      mov ~w:W8 (mreg RAX) rdi;
+      mov rdi (imm 1);
+      mov rsi rax;
+      mov rdx (imm 1);
+      call "write";
+      ret ]
+
+let puts : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~data:[ label "__nl"; asciz "\n" ]
+    [ label "puts";
+      push rbx;
+      mov rbx rdi;
+      call "strlen";
+      mov rdx rax;
+      mov rsi rbx;
+      mov rdi (imm 1);
+      call "write";
+      mov rdi (imm 1);
+      lea rsi "__nl";
+      mov rdx (imm 1);
+      call "write";
+      pop rbx;
+      ret ]
+
+(* printf(fmt rdi, args rsi rdx rcx) -> rax = chars written.
+   Formats into __printf_buf then flushes with one write(2). *)
+let printf : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~bss:
+      [ label "__printf_args"; space 24;
+        label "__printf_buf"; space 256 ]
+    [ label "printf";
+      push rbx; push r12; push r13; push r14; push r15;
+      lea r13 "__printf_args";
+      mov (mreg R13) rsi;
+      mov (mreg ~disp:8 R13) rdx;
+      mov (mreg ~disp:16 R13) rcx;
+      mov rbx rdi;                       (* fmt cursor *)
+      lea r12 "__printf_buf";
+      xor r14 r14;                       (* out position *)
+      xor r15 r15;                       (* arg index *)
+      label ".pf_loop";
+      movzx rax ~sw:W8 (mreg RBX);
+      test rax rax;
+      je ".pf_flush";
+      add rbx (imm 1);
+      cmp rax (imm (Char.code '%'));
+      jne ".pf_emit";
+      movzx rax ~sw:W8 (mreg RBX);
+      add rbx (imm 1);
+      cmp rax (imm (Char.code 'd'));
+      je ".pf_d";
+      cmp rax (imm (Char.code 'x'));
+      je ".pf_x";
+      cmp rax (imm (Char.code 's'));
+      je ".pf_s";
+      cmp rax (imm (Char.code 'c'));
+      je ".pf_c";
+      (* '%%' and unknown directives print the char itself *)
+      label ".pf_emit";
+      mov ~w:W8 (mem ~base:R12 ~index:R14 ()) rax;
+      add r14 (imm 1);
+      jmp ".pf_loop";
+      label ".pf_c";
+      mov rax (mem ~base:R13 ~index:R15 ~scale:8 ());
+      add r15 (imm 1);
+      jmp ".pf_emit";
+      label ".pf_s";
+      mov rsi (mem ~base:R13 ~index:R15 ~scale:8 ());
+      add r15 (imm 1);
+      label ".pf_scopy";
+      movzx rax ~sw:W8 (mreg RSI);
+      test rax rax;
+      je ".pf_loop";
+      mov ~w:W8 (mem ~base:R12 ~index:R14 ()) rax;
+      add r14 (imm 1);
+      add rsi (imm 1);
+      jmp ".pf_scopy";
+      label ".pf_d";
+      mov rdi (mem ~base:R13 ~index:R15 ~scale:8 ());
+      add r15 (imm 1);
+      lea_m rsi (mem ~base:R12 ~index:R14 ());
+      call "itoa";
+      add r14 rax;
+      jmp ".pf_loop";
+      label ".pf_x";
+      mov rdi (mem ~base:R13 ~index:R15 ~scale:8 ());
+      add r15 (imm 1);
+      lea_m rsi (mem ~base:R12 ~index:R14 ());
+      call "itoh";
+      add r14 rax;
+      jmp ".pf_loop";
+      label ".pf_flush";
+      mov rdi (imm 1);
+      mov rsi r12;
+      mov rdx r14;
+      call "write";
+      mov rax r14;
+      pop r15; pop r14; pop r13; pop r12; pop rbx;
+      ret ]
+
+let all = [ itoa; itoh; putchar; puts; printf ]

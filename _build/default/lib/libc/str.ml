@@ -1,0 +1,141 @@
+(** Guest string routines: strlen, strcmp, memcmp, strcpy, memcpy,
+    memset, atoi. *)
+
+open Isa.Insn
+open Isa.Reg
+open Asm.Ast.Dsl
+
+
+
+let strlen : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "strlen";
+      mov rax (imm 0);
+      label ".strlen_loop";
+      movzx rcx ~sw:W8 (mem ~base:RDI ~index:RAX ());
+      test rcx rcx;
+      je ".strlen_done";
+      add rax (imm 1);
+      jmp ".strlen_loop";
+      label ".strlen_done";
+      ret ]
+
+let strcmp : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "strcmp";
+      label ".strcmp_loop";
+      movzx rax ~sw:W8 (mreg RDI);
+      movzx rcx ~sw:W8 (mreg RSI);
+      cmp rax rcx;
+      jne ".strcmp_diff";
+      test rax rax;
+      je ".strcmp_eq";
+      add rdi (imm 1);
+      add rsi (imm 1);
+      jmp ".strcmp_loop";
+      label ".strcmp_diff";
+      jb ".strcmp_lt";
+      mov rax (imm 1);
+      ret;
+      label ".strcmp_lt";
+      mov rax (imm (-1));
+      ret;
+      label ".strcmp_eq";
+      xor rax rax;
+      ret ]
+
+let memcmp : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "memcmp";
+      label ".memcmp_loop";
+      test rdx rdx;
+      je ".memcmp_eq";
+      movzx rax ~sw:W8 (mreg RDI);
+      movzx rcx ~sw:W8 (mreg RSI);
+      cmp rax rcx;
+      jne ".memcmp_ne";
+      add rdi (imm 1);
+      add rsi (imm 1);
+      sub rdx (imm 1);
+      jmp ".memcmp_loop";
+      label ".memcmp_ne";
+      mov rax (imm 1);
+      ret;
+      label ".memcmp_eq";
+      xor rax rax;
+      ret ]
+
+let strcpy : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "strcpy";
+      mov rax rdi;
+      label ".strcpy_loop";
+      movzx rcx ~sw:W8 (mreg RSI);
+      mov ~w:W8 (mreg RDI) rcx;
+      test rcx rcx;
+      je ".strcpy_done";
+      add rdi (imm 1);
+      add rsi (imm 1);
+      jmp ".strcpy_loop";
+      label ".strcpy_done";
+      ret ]
+
+let memcpy : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "memcpy";
+      mov rax rdi;
+      label ".memcpy_loop";
+      test rdx rdx;
+      je ".memcpy_done";
+      movzx rcx ~sw:W8 (mreg RSI);
+      mov ~w:W8 (mreg RDI) rcx;
+      add rdi (imm 1);
+      add rsi (imm 1);
+      sub rdx (imm 1);
+      jmp ".memcpy_loop";
+      label ".memcpy_done";
+      ret ]
+
+let memset : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "memset";
+      mov rax rdi;
+      label ".memset_loop";
+      test rdx rdx;
+      je ".memset_done";
+      mov ~w:W8 (mreg RDI) rsi;
+      add rdi (imm 1);
+      sub rdx (imm 1);
+      jmp ".memset_loop";
+      label ".memset_done";
+      ret ]
+
+let atoi : Asm.Ast.obj =
+  Asm.Ast.obj
+    [ label "atoi";
+      xor rax rax;
+      xor r8 r8;
+      movzx rcx ~sw:W8 (mreg RDI);
+      cmp rcx (imm (Char.code '-'));
+      jne ".atoi_loop";
+      mov r8 (imm 1);
+      add rdi (imm 1);
+      label ".atoi_loop";
+      movzx rcx ~sw:W8 (mreg RDI);
+      cmp rcx (imm (Char.code '0'));
+      jb ".atoi_done";
+      cmp rcx (imm (Char.code '9'));
+      ja ".atoi_done";
+      imul rax (imm 10);
+      add rax rcx;
+      sub rax (imm (Char.code '0'));
+      add rdi (imm 1);
+      jmp ".atoi_loop";
+      label ".atoi_done";
+      test r8 r8;
+      je ".atoi_pos";
+      neg rax;
+      label ".atoi_pos";
+      ret ]
+
+let all = [ strlen; strcmp; memcmp; strcpy; memcpy; memset; atoi ]

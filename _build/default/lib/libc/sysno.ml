@@ -1,0 +1,16 @@
+(** Syscall numbers shared by the guest runtime and the kernel model
+    (Linux x86-64 numbering, plus VX64 thread extensions). *)
+
+let table =
+  [ ("read", 0); ("write", 1); ("open", 2); ("close", 3); ("lseek", 8);
+    ("rt_sigaction", 13); ("pipe", 22); ("nanosleep", 35); ("getpid", 39);
+    ("socket", 41); ("connect", 42); ("fork", 57); ("exit", 60);
+    ("wait4", 61); ("gettimeofday", 96); ("getuid", 102); ("time", 201);
+    ("getrandom", 318);
+    ("thread_create", 0x1000); ("thread_join", 0x1001); ("yield", 0x1002);
+    ("thread_exit", 0x1003) ]
+
+let syscall_nr name =
+  match List.assoc_opt name table with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Sysno.syscall_nr: %s" name)

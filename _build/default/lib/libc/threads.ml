@@ -1,0 +1,52 @@
+(** Guest pthread-flavoured wrappers over the VX64 thread syscalls.
+
+    [pthread_create] allocates a stack slot from a static pool, plants
+    the [__thread_exit] trampoline as the entry function's return
+    address, and traps into the kernel. *)
+
+open Asm.Ast.Dsl
+open Isa.Reg
+
+let stack_slot = 8192
+let slots = 4
+
+let threads : Asm.Ast.obj =
+  Asm.Ast.obj
+    ~bss:
+      [ label "__tstack_idx"; space 8;
+        label "__tstacks"; space (slots * stack_slot) ]
+    [ (* pthread_create(entry rdi, arg rsi) -> tid *)
+      label "pthread_create";
+      lea rcx "__tstack_idx";
+      mov rax (mreg RCX);
+      add (mreg RCX) (imm 1);
+      imul rax (imm stack_slot);
+      lea r8 "__tstacks";
+      add r8 rax;
+      add r8 (imm stack_slot);
+      sub r8 (imm 8);
+      mov_lbl r9 "__thread_exit";
+      mov (mreg R8) r9;
+      mov rdx rsi;                       (* arg *)
+      mov rsi r8;                        (* initial rsp *)
+      mov rax (imm (Sysno.syscall_nr "thread_create"));
+      syscall;
+      ret;
+
+      label "__thread_exit";
+      mov rax (imm (Sysno.syscall_nr "thread_exit"));
+      syscall;
+      hlt;
+
+      (* pthread_join(tid rdi) *)
+      label "pthread_join";
+      mov rax (imm (Sysno.syscall_nr "thread_join"));
+      syscall;
+      ret;
+
+      label "sched_yield";
+      mov rax (imm (Sysno.syscall_nr "yield"));
+      syscall;
+      ret ]
+
+let all = [ threads ]

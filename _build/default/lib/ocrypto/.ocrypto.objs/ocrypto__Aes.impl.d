@@ -1,0 +1,1 @@
+lib/ocrypto/aes.ml: Array Char List Printf String

@@ -1,0 +1,103 @@
+(** Reference AES-128 single-block encryption (host side).
+
+    Used to cross-check the guest assembly implementation, to generate
+    its S-box table, and to compute the ciphertext constants baked into
+    the AES bomb. *)
+
+(* S-box generated from the multiplicative inverse in GF(2^8) composed
+   with the affine transform, so the table is self-contained. *)
+
+let gmul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      let a = if a land 0x80 <> 0 then (a lsl 1) lxor 0x11b else a lsl 1 in
+      go a (b lsr 1) acc
+  in
+  go a b 0
+
+let ginv a =
+  if a = 0 then 0
+  else
+    let rec find x = if gmul a x = 1 then x else find (x + 1) in
+    find 1
+
+let sbox =
+  Array.init 256 (fun i ->
+      let x = ginv i in
+      let bit b n = (b lsr n) land 1 in
+      let f n =
+        bit x n lxor bit x ((n + 4) mod 8) lxor bit x ((n + 5) mod 8)
+        lxor bit x ((n + 6) mod 8) lxor bit x ((n + 7) mod 8)
+        lxor bit 0x63 n
+      in
+      let rec build n acc = if n = 8 then acc else build (n + 1) (acc lor (f n lsl n)) in
+      build 0 0)
+
+let sbox_string = String.init 256 (fun i -> Char.chr sbox.(i))
+
+let xtime b =
+  let v = b lsl 1 in
+  (if b land 0x80 <> 0 then v lxor 0x1b else v) land 0xff
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+
+(** 11 round keys, 176 bytes. *)
+let expand_key (key : string) : int array =
+  assert (String.length key = 16);
+  let rk = Array.make 176 0 in
+  String.iteri (fun i c -> rk.(i) <- Char.code c) key;
+  for w = 4 to 43 do
+    let prev j = rk.((w - 1) * 4 + j) in
+    let temp = Array.init 4 prev in
+    let temp =
+      if w mod 4 = 0 then begin
+        let rotated = [| temp.(1); temp.(2); temp.(3); temp.(0) |] in
+        let subbed = Array.map (fun b -> sbox.(b)) rotated in
+        subbed.(0) <- subbed.(0) lxor rcon.(w / 4 - 1);
+        subbed
+      end
+      else temp
+    in
+    for j = 0 to 3 do
+      rk.(w * 4 + j) <- rk.((w - 4) * 4 + j) lxor temp.(j)
+    done
+  done;
+  rk
+
+let shift_row_src = [| 0; 5; 10; 15; 4; 9; 14; 3; 8; 13; 2; 7; 12; 1; 6; 11 |]
+
+let encrypt_block ~(key : string) (input : string) : string =
+  assert (String.length input = 16);
+  let rk = expand_key key in
+  let st = Array.init 16 (fun i -> Char.code input.[i]) in
+  let add_round_key r =
+    for i = 0 to 15 do st.(i) <- st.(i) lxor rk.((r * 16) + i) done
+  in
+  let sub_bytes () = Array.iteri (fun i b -> st.(i) <- sbox.(b)) st in
+  let shift_rows () =
+    let old = Array.copy st in
+    Array.iteri (fun i src -> st.(i) <- old.(src)) shift_row_src
+  in
+  let mix_columns () =
+    for c = 0 to 3 do
+      let b = c * 4 in
+      let a0 = st.(b) and a1 = st.(b + 1) and a2 = st.(b + 2) and a3 = st.(b + 3) in
+      let t = a0 lxor a1 lxor a2 lxor a3 in
+      st.(b) <- a0 lxor t lxor xtime (a0 lxor a1);
+      st.(b + 1) <- a1 lxor t lxor xtime (a1 lxor a2);
+      st.(b + 2) <- a2 lxor t lxor xtime (a2 lxor a3);
+      st.(b + 3) <- a3 lxor t lxor xtime (a3 lxor a0)
+    done
+  in
+  add_round_key 0;
+  for r = 1 to 9 do
+    sub_bytes (); shift_rows (); mix_columns (); add_round_key r
+  done;
+  sub_bytes (); shift_rows (); add_round_key 10;
+  String.init 16 (fun i -> Char.chr st.(i))
+
+let hex s =
+  String.concat "" (List.init (String.length s) (fun i ->
+      Printf.sprintf "%02x" (Char.code s.[i])))

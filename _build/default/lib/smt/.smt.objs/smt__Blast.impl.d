@@ -1,0 +1,1 @@
+lib/smt/blast.pp.ml: Array Expr Hashtbl Int64 Obj Sat

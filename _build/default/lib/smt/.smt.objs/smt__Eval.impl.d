@@ -1,0 +1,1 @@
+lib/smt/eval.pp.ml: Expr Float Hashtbl Int64 List Obj

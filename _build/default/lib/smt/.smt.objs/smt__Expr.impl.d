@@ -1,0 +1,1 @@
+lib/smt/expr.pp.ml: Hashtbl Int64 List Obj Option Ppx_deriving_runtime

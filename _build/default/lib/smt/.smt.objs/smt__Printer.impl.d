@@ -1,0 +1,1 @@
+lib/smt/printer.pp.ml: Buffer Expr Int64 List Printf Solver String

@@ -1,0 +1,1 @@
+lib/smt/sat.pp.ml: Array List

@@ -1,0 +1,1 @@
+lib/smt/simplify.pp.ml: Eval Expr Hashtbl Int64 Obj

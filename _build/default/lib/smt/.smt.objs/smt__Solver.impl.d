@@ -1,0 +1,1 @@
+lib/smt/solver.pp.ml: Array Blast Eval Expr Float Hashtbl Int64 List Printf Simplify String

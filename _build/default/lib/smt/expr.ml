@@ -1,0 +1,242 @@
+(** Quantifier-free bitvector terms (widths 1..64), with an IEEE-754
+    double extension interpreted over 64-bit vectors.
+
+    Booleans are 1-bit vectors, which keeps the language uniform: a
+    path predicate is just a [Bv 1] term.  Memory reads with symbolic
+    addresses are lowered to [Ite] chains by the engine's memory model
+    before they reach the solver, so no array sort is needed — the
+    same design choice Angr's default memory model makes. *)
+
+type var = { vname : string; width : int }
+[@@deriving show { with_path = false }, eq, ord]
+
+type unop = Neg | Not [@@deriving show { with_path = false }, eq, ord]
+
+type binop =
+  | Add | Sub | Mul | Udiv | Urem | Sdiv | Srem
+  | And | Or | Xor | Shl | Lshr | Ashr
+[@@deriving show { with_path = false }, eq, ord]
+
+type cmpop = Eq | Ult | Ule | Slt | Sle
+[@@deriving show { with_path = false }, eq, ord]
+
+(** Scalar-double operations over 64-bit vectors (IEEE-754 binary64). *)
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+[@@deriving show { with_path = false }, eq, ord]
+
+type fcmpop = Feq | Flt | Fle [@@deriving show { with_path = false }, eq, ord]
+
+type t =
+  | Var of var
+  | Const of int64 * int              (** value (zero-extended), width *)
+  | Unop of unop * t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t              (** result: Bv 1 *)
+  | Ite of t * t * t                  (** cond: Bv 1 *)
+  | Extract of int * int * t          (** [Extract (hi, lo, e)] inclusive *)
+  | Concat of t * t                   (** high ++ low *)
+  | Zext of int * t                   (** to the given width *)
+  | Sext of int * t
+  | Fbin of fbinop * t * t            (** double arithmetic on Bv 64 *)
+  | Fcmp of fcmpop * t * t            (** double compare; Bv 1 *)
+  | Fsqrt of t
+  | Fof_int of t                      (** cvtsi2sd *)
+  | Fto_int of t                      (** cvttsd2si *)
+[@@deriving show { with_path = false }, eq, ord]
+
+let mask width =
+  if width >= 64 then -1L
+  else Int64.sub (Int64.shift_left 1L width) 1L
+
+let rec width_of = function
+  | Var v -> v.width
+  | Const (_, w) -> w
+  | Unop (_, e) -> width_of e
+  | Binop (_, a, _) -> width_of a
+  | Cmp _ | Fcmp _ -> 1
+  | Ite (_, a, _) -> width_of a
+  | Extract (hi, lo, _) -> hi - lo + 1
+  | Concat (a, b) -> width_of a + width_of b
+  | Zext (w, _) | Sext (w, _) -> w
+  | Fbin _ | Fsqrt _ | Fof_int _ -> 64
+  | Fto_int _ -> 64
+
+(* DAG-aware: shared sub-terms are visited once (a naive tree
+   recursion is exponential on circuit-like terms) *)
+let contains_fp e =
+  let seen : (int, t list) Hashtbl.t = Hashtbl.create 256 in
+  let visited e =
+    let key = Hashtbl.hash_param 2 4 e in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt seen key) in
+    if List.memq e bucket then true
+    else begin
+      Hashtbl.replace seen key (e :: bucket);
+      false
+    end
+  in
+  let rec go stack =
+    match stack with
+    | [] -> false
+    | e :: rest ->
+      if visited e then go rest
+      else
+        match e with
+        | Fbin _ | Fcmp _ | Fsqrt _ | Fof_int _ | Fto_int _ -> true
+        | Var _ | Const _ -> go rest
+        | Unop (_, a) | Extract (_, _, a) | Zext (_, a) | Sext (_, a) ->
+          go (a :: rest)
+        | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b) ->
+          go (a :: b :: rest)
+        | Ite (c, a, b) -> go (c :: a :: b :: rest)
+  in
+  go [ e ]
+
+(** Free variables, de-duplicated.  DAG-aware like {!contains_fp}. *)
+let vars e =
+  let names = Hashtbl.create 16 in
+  let acc = ref [] in
+  let seen : (int, t list) Hashtbl.t = Hashtbl.create 256 in
+  let visited e =
+    let key = Hashtbl.hash_param 2 4 e in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt seen key) in
+    if List.memq e bucket then true
+    else begin
+      Hashtbl.replace seen key (e :: bucket);
+      false
+    end
+  in
+  let rec go stack =
+    match stack with
+    | [] -> ()
+    | e :: rest ->
+      if visited e then go rest
+      else
+        match e with
+        | Var v ->
+          if not (Hashtbl.mem names v.vname) then begin
+            Hashtbl.replace names v.vname ();
+            acc := v :: !acc
+          end;
+          go rest
+        | Const _ -> go rest
+        | Unop (_, a) | Extract (_, _, a) | Zext (_, a) | Sext (_, a)
+        | Fsqrt a | Fof_int a | Fto_int a -> go (a :: rest)
+        | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b)
+        | Fbin (_, a, b) | Fcmp (_, a, b) -> go (a :: b :: rest)
+        | Ite (c, a, b) -> go (c :: a :: b :: rest)
+  in
+  go [ e ];
+  List.rev !acc
+
+(** Number of distinct nodes (DAG size, by physical identity). *)
+let dag_size e =
+  let module H = Hashtbl in
+  let seen : (Obj.t, unit) H.t = H.create 256 in
+  let count = ref 0 in
+  let rec go e =
+    let key = Obj.repr e in
+    if not (H.mem seen key) then begin
+      H.replace seen key ();
+      incr count;
+      match e with
+      | Var _ | Const _ -> ()
+      | Unop (_, a) | Extract (_, _, a) | Zext (_, a) | Sext (_, a)
+      | Fsqrt a | Fof_int a | Fto_int a -> go a
+      | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b)
+      | Fbin (_, a, b) | Fcmp (_, a, b) -> go a; go b
+      | Ite (c, a, b) -> go c; go a; go b
+    end
+  in
+  go e;
+  !count
+
+(** Estimated CNF size if this term were bit-blasted, saturating at
+    [cap]: multiplications and divisions dominate (quadratic in
+    width), so a node count alone badly underestimates crypto-style
+    terms.  The traversal itself is budgeted — structural hashing of
+    huge DAGs must not cost more than the solving it guards — so the
+    result is exact below the budget and a safe over-approximation
+    ([cap]) beyond it. *)
+let blast_cost ?(cap = max_int) ?(node_budget = 50_000) e =
+  let module H = Hashtbl in
+  (* shallow hashing keeps per-node cost constant; collisions only
+     grow buckets, and the node budget bounds the total work *)
+  let seen : (int, t list) H.t = H.create 1024 in
+  let weight = function
+    | Binop ((Mul | Udiv | Urem | Sdiv | Srem), a, _) ->
+      let w = width_of a in
+      3 * w * w
+    | Binop ((Shl | Lshr | Ashr), a, _) -> 24 * width_of a
+    | Binop (_, a, _) -> 5 * width_of a
+    | Cmp (_, a, _) -> 3 * width_of a
+    | Ite (_, a, _) -> 4 * width_of a
+    | Unop (Neg, a) -> 5 * width_of a
+    | _ -> 1
+  in
+  let cost = ref 0 in
+  let visited = ref 0 in
+  let stack = ref [ e ] in
+  (try
+     while !stack <> [] do
+       match !stack with
+       | [] -> ()
+       | e :: rest ->
+         stack := rest;
+         let key = H.hash_param 2 4 e in
+         let bucket = Option.value ~default:[] (H.find_opt seen key) in
+         if not (List.memq e bucket) then begin
+           H.replace seen key (e :: bucket);
+           incr visited;
+           cost := !cost + weight e;
+           if !cost > cap || !visited > node_budget then begin
+             cost := cap + 1;
+             raise Exit
+           end;
+           match e with
+           | Var _ | Const _ -> ()
+           | Unop (_, a) | Extract (_, _, a) | Zext (_, a) | Sext (_, a)
+           | Fsqrt a | Fof_int a | Fto_int a -> stack := a :: !stack
+           | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b)
+           | Fbin (_, a, b) | Fcmp (_, a, b) -> stack := a :: b :: !stack
+           | Ite (c, a, b) -> stack := c :: a :: b :: !stack
+         end
+     done
+   with Exit -> ());
+  !cost
+
+(* ------------------------------------------------------------------ *)
+(* Smart constructors                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let var ?(width = 64) vname = Var { vname; width }
+let const ?(width = 64) v = Const (Int64.logand v (mask width), width)
+let const_int ?(width = 64) v = const ~width (Int64.of_int v)
+let tru = Const (1L, 1)
+let fls = Const (0L, 1)
+
+let is_true = function Const (1L, 1) -> true | _ -> false
+let is_false = function Const (0L, 1) -> true | _ -> false
+
+let not_ = function
+  | Const (v, 1) -> if v = 1L then fls else tru
+  | Unop (Not, e) when width_of e = 1 -> e
+  | e -> Unop (Not, e)
+
+let and_ a b =
+  if is_false a || is_false b then fls
+  else if is_true a then b
+  else if is_true b then a
+  else Binop (And, a, b)
+
+let or_ a b =
+  if is_true a || is_true b then tru
+  else if is_false a then b
+  else if is_false b then a
+  else Binop (Or, a, b)
+
+let conj = function [] -> tru | e :: es -> List.fold_left and_ e es
+
+let eq a b = Cmp (Eq, a, b)
+let ne a b = not_ (eq a b)
+
+let ite c a b = if is_true c then a else if is_false c then b else Ite (c, a, b)

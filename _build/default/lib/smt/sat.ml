@@ -1,0 +1,416 @@
+(** A CDCL SAT solver: two-watched-literal propagation, first-UIP
+    clause learning, VSIDS-style decision heuristic with phase saving,
+    and Luby restarts.  This is the engine under the bit-blaster, the
+    role STP/Z3 play for the paper's tools.
+
+    Literal encoding: variable [v] (0-based) has positive literal
+    [2*v] and negative literal [2*v+1]. *)
+
+type result = Sat | Unsat | Unknown
+
+type clause = { lits : int array; mutable activity : float; learnt : bool }
+
+type t = {
+  mutable nvars : int;
+  mutable clauses : clause list;
+  mutable learnts : clause list;
+  mutable watches : clause list array;   (* indexed by literal *)
+  mutable assign : int array;            (* -1 unset, 0 false, 1 true *)
+  mutable level : int array;
+  mutable reason : clause option array;
+  mutable activity : float array;
+  mutable phase : bool array;            (* saved phases *)
+  mutable trail : int array;             (* literals in assignment order *)
+  mutable trail_n : int;
+  mutable trail_lim : int list;          (* decision-level boundaries *)
+  mutable prop_head : int;
+  mutable var_inc : float;
+  mutable cla_inc : float;
+  mutable ok : bool;
+  mutable conflicts : int;
+  (* activity-ordered heap of candidate decision variables *)
+  mutable heap : int array;
+  mutable heap_n : int;
+  mutable heap_pos : int array;   (* var -> heap index, -1 if absent *)
+}
+
+let lit_var l = l lsr 1
+let lit_sign l = l land 1 = 0 (* true = positive *)
+let lit_neg l = l lxor 1
+let mk_lit v positive = (v lsl 1) lor (if positive then 0 else 1)
+
+let create () =
+  { nvars = 0;
+    clauses = [];
+    learnts = [];
+    watches = Array.make 16 [];
+    assign = Array.make 8 (-1);
+    level = Array.make 8 0;
+    reason = Array.make 8 None;
+    activity = Array.make 8 0.0;
+    phase = Array.make 8 false;
+    trail = Array.make 8 0;
+    trail_n = 0;
+    trail_lim = [];
+    prop_head = 0;
+    var_inc = 1.0;
+    cla_inc = 1.0;
+    ok = true;
+    conflicts = 0;
+    heap = Array.make 8 0;
+    heap_n = 0;
+    heap_pos = Array.make 8 (-1) }
+
+let ensure_capacity t n =
+  let grow arr def =
+    let len = Array.length arr in
+    if n <= len then arr
+    else begin
+      let arr' = Array.make (max n (2 * len)) def in
+      Array.blit arr 0 arr' 0 len;
+      arr'
+    end
+  in
+  t.assign <- grow t.assign (-1);
+  t.level <- grow t.level 0;
+  t.reason <- grow t.reason None;
+  t.activity <- grow t.activity 0.0;
+  t.phase <- grow t.phase false;
+  t.trail <- grow t.trail 0;
+  t.heap <- grow t.heap 0;
+  t.heap_pos <- grow t.heap_pos (-1);
+  if 2 * n > Array.length t.watches then begin
+    let w = Array.make (max (2 * n) (2 * Array.length t.watches)) [] in
+    Array.blit t.watches 0 w 0 (Array.length t.watches);
+    t.watches <- w
+  end
+
+(* ---- VSIDS order heap ---- *)
+
+let heap_swap t i j =
+  let a = t.heap.(i) and b = t.heap.(j) in
+  t.heap.(i) <- b;
+  t.heap.(j) <- a;
+  t.heap_pos.(b) <- i;
+  t.heap_pos.(a) <- j
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.activity.(t.heap.(i)) > t.activity.(t.heap.(parent)) then begin
+      heap_swap t i parent;
+      heap_up t parent
+    end
+  end
+
+let rec heap_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < t.heap_n && t.activity.(t.heap.(l)) > t.activity.(t.heap.(!best))
+  then best := l;
+  if r < t.heap_n && t.activity.(t.heap.(r)) > t.activity.(t.heap.(!best))
+  then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    let i = t.heap_n in
+    t.heap_n <- i + 1;
+    t.heap.(i) <- v;
+    t.heap_pos.(v) <- i;
+    heap_up t i
+  end
+
+let heap_pop t =
+  let v = t.heap.(0) in
+  t.heap_n <- t.heap_n - 1;
+  t.heap_pos.(v) <- -1;
+  if t.heap_n > 0 then begin
+    t.heap.(0) <- t.heap.(t.heap_n);
+    t.heap_pos.(t.heap.(0)) <- 0;
+    heap_down t 0
+  end;
+  v
+
+let new_var t =
+  let v = t.nvars in
+  t.nvars <- v + 1;
+  ensure_capacity t (v + 1);
+  heap_insert t v;
+  v
+
+(* value of a literal under the current assignment: -1/0/1 *)
+let lit_value t l =
+  let a = t.assign.(lit_var l) in
+  if a < 0 then -1 else if lit_sign l then a else 1 - a
+
+let decision_level t = List.length t.trail_lim
+
+let enqueue t l reason =
+  t.assign.(lit_var l) <- (if lit_sign l then 1 else 0);
+  t.level.(lit_var l) <- decision_level t;
+  t.reason.(lit_var l) <- reason;
+  t.phase.(lit_var l) <- lit_sign l;
+  t.trail.(t.trail_n) <- l;
+  t.trail_n <- t.trail_n + 1
+
+(* attach a clause to the watch lists of its first two literals *)
+let attach t c =
+  t.watches.(lit_neg c.lits.(0)) <- c :: t.watches.(lit_neg c.lits.(0));
+  if Array.length c.lits > 1 then
+    t.watches.(lit_neg c.lits.(1)) <- c :: t.watches.(lit_neg c.lits.(1))
+
+let add_clause t lits =
+  if t.ok then begin
+    (* simplify: drop duplicate/false literals, detect tautology *)
+    let lits = List.sort_uniq compare lits in
+    let taut = List.exists (fun l -> List.mem (lit_neg l) lits) lits in
+    if not taut then begin
+      let lits =
+        List.filter
+          (fun l -> not (lit_value t l = 0 && t.level.(lit_var l) = 0))
+          lits
+      in
+      if List.exists (fun l -> lit_value t l = 1 && t.level.(lit_var l) = 0)
+          lits
+      then ()
+      else
+        match lits with
+        | [] -> t.ok <- false
+        | [ l ] ->
+          if lit_value t l = 0 then t.ok <- false
+          else if lit_value t l < 0 then enqueue t l None
+        | _ ->
+          let c = { lits = Array.of_list lits; activity = 0.0; learnt = false } in
+          t.clauses <- c :: t.clauses;
+          attach t c
+    end
+  end
+
+(* propagate all queued assignments; return the conflicting clause *)
+let propagate t : clause option =
+  let conflict = ref None in
+  while !conflict = None && t.prop_head < t.trail_n do
+    let l = t.trail.(t.prop_head) in
+    t.prop_head <- t.prop_head + 1;
+    (* literals watching ~l = watches.(l) *)
+    let ws = t.watches.(l) in
+    t.watches.(l) <- [];
+    let rec process = function
+      | [] -> ()
+      | c :: rest -> (
+          (* make sure the false literal is at position 1 *)
+          let false_lit = lit_neg l in
+          if c.lits.(0) = false_lit then begin
+            c.lits.(0) <- c.lits.(1);
+            c.lits.(1) <- false_lit
+          end;
+          if lit_value t c.lits.(0) = 1 then begin
+            (* satisfied: keep watching *)
+            t.watches.(l) <- c :: t.watches.(l);
+            process rest
+          end
+          else
+            (* look for a new watch *)
+            let n = Array.length c.lits in
+            let rec find i =
+              if i >= n then None
+              else if lit_value t c.lits.(i) <> 0 then Some i
+              else find (i + 1)
+            in
+            match find 2 with
+            | Some i ->
+              c.lits.(1) <- c.lits.(i);
+              c.lits.(i) <- false_lit;
+              t.watches.(lit_neg c.lits.(1)) <- c :: t.watches.(lit_neg c.lits.(1));
+              process rest
+            | None ->
+              (* unit or conflict *)
+              t.watches.(l) <- c :: t.watches.(l);
+              if lit_value t c.lits.(0) = 0 then begin
+                conflict := Some c;
+                (* put the remaining watchers back *)
+                List.iter
+                  (fun c' -> t.watches.(l) <- c' :: t.watches.(l))
+                  rest
+              end
+              else begin
+                enqueue t c.lits.(0) (Some c);
+                process rest
+              end)
+    in
+    process ws
+  done;
+  !conflict
+
+let var_bump t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v);
+  if t.activity.(v) > 1e100 then begin
+    for i = 0 to t.nvars - 1 do
+      t.activity.(i) <- t.activity.(i) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+    (* relative order unchanged: the heap stays valid *)
+  end
+
+let var_decay t = t.var_inc <- t.var_inc /. 0.95
+
+(* first-UIP conflict analysis; returns the learnt clause (UIP first)
+   and the backtrack level *)
+let analyze t confl =
+  let learnt = ref [] in
+  let seen = Array.make t.nvars false in
+  let counter = ref 0 in
+  let p = ref (-1) in
+  let confl = ref (Some confl) in
+  let index = ref (t.trail_n - 1) in
+  let btlevel = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    (match !confl with
+     | None -> ()
+     | Some c ->
+       Array.iter
+         (fun q ->
+            let v = lit_var q in
+            if (not seen.(v)) && t.level.(v) > 0 && q <> !p then begin
+              seen.(v) <- true;
+              var_bump t v;
+              if t.level.(v) >= decision_level t then incr counter
+              else begin
+                learnt := q :: !learnt;
+                btlevel := max !btlevel t.level.(v)
+              end
+            end)
+         c.lits);
+    (* pick the next literal on the trail to resolve *)
+    let rec next i =
+      if not seen.(lit_var t.trail.(i)) then next (i - 1) else i
+    in
+    index := next !index;
+    let q = t.trail.(!index) in
+    p := q;
+    confl := t.reason.(lit_var q);
+    seen.(lit_var q) <- false;
+    decr counter;
+    index := !index - 1;
+    if !counter <= 0 then continue_ := false
+  done;
+  (lit_neg !p :: !learnt, !btlevel)
+
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let rec bound lims n =
+      match lims with
+      | [] -> 0
+      | b :: rest -> if n = lvl + 1 then b else bound rest (n - 1)
+    in
+    let target = bound t.trail_lim (decision_level t) in
+    for i = t.trail_n - 1 downto target do
+      let v = lit_var t.trail.(i) in
+      t.assign.(v) <- -1;
+      t.reason.(v) <- None;
+      heap_insert t v
+    done;
+    t.trail_n <- target;
+    t.prop_head <- target;
+    let rec drop lims n = if n = lvl then lims else drop (List.tl lims) (n - 1) in
+    t.trail_lim <- drop t.trail_lim (decision_level t)
+  end
+
+let rec pick_branch t =
+  (* highest-activity unassigned variable, via the order heap *)
+  if t.heap_n = 0 then -1
+  else
+    let v = heap_pop t in
+    if t.assign.(v) < 0 then v else pick_branch t
+
+(* simpler restart schedule: geometric *)
+let restart_interval n = int_of_float (100.0 *. (1.5 ** float_of_int n))
+
+let solve ?(conflict_budget = max_int) ?(assumptions = []) t : result =
+  if not t.ok then Unsat
+  else begin
+    cancel_until t 0;
+    let result = ref Unknown in
+    let restarts = ref 0 in
+    let conflicts_here = ref 0 in
+    let budget_left () = t.conflicts < conflict_budget in
+    (try
+       (* assume the assumption literals at successive levels *)
+       while !result = Unknown do
+         match propagate t with
+         | Some confl ->
+           t.conflicts <- t.conflicts + 1;
+           incr conflicts_here;
+           if decision_level t = 0 then begin
+             t.ok <- false;
+             result := Unsat
+           end
+           else begin
+             let learnt, btlevel = analyze t confl in
+             cancel_until t btlevel;
+             (match learnt with
+              | [] -> t.ok <- false; result := Unsat
+              | [ l ] -> enqueue t l None
+              | l :: _ ->
+                let c =
+                  { lits = Array.of_list learnt; activity = t.cla_inc;
+                    learnt = true }
+                in
+                t.learnts <- c :: t.learnts;
+                attach t c;
+                enqueue t l (Some c));
+             var_decay t
+           end;
+           if not (budget_left ()) then begin
+             result := Unknown;
+             raise Exit
+           end
+         | None ->
+           (* restart? *)
+           if !conflicts_here > restart_interval !restarts then begin
+             incr restarts;
+             conflicts_here := 0;
+             cancel_until t 0
+           end
+           else begin
+             (* extend with assumptions first *)
+             let unassigned_assumption =
+               List.find_opt (fun l -> lit_value t l < 0) assumptions
+             in
+             match unassigned_assumption with
+             | Some l ->
+               if List.exists (fun a -> lit_value t a = 0) assumptions then begin
+                 result := Unsat;
+                 raise Exit
+               end;
+               t.trail_lim <- t.trail_n :: t.trail_lim;
+               enqueue t l None
+             | None ->
+               if List.exists (fun a -> lit_value t a = 0) assumptions then begin
+                 result := Unsat;
+                 raise Exit
+               end;
+               let v = pick_branch t in
+               if v < 0 then result := Sat
+               else begin
+                 t.trail_lim <- t.trail_n :: t.trail_lim;
+                 enqueue t (mk_lit v t.phase.(v)) None
+               end
+           end
+       done
+     with Exit -> ());
+    !result
+  end
+
+(** Value of variable [v] in the satisfying assignment. *)
+let model_value t v = t.assign.(v) = 1
+
+let num_vars t = t.nvars
+let num_clauses t = List.length t.clauses
+let num_conflicts t = t.conflicts

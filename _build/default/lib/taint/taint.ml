@@ -1,0 +1,148 @@
+(** Forward dynamic taint over a recorded trace.
+
+    Shadow state: per-thread registers and flags, byte-granular
+    memory, and (policy-dependent) kernel-object bytes.  The policy
+    captures what a tool's taint engine can follow: Pin-based tools
+    track registers and memory but lose taint through the kernel
+    (files, pipes, sockets), which is how the covert-propagation rows
+    of Table II fail. *)
+
+type policy = {
+  through_files : bool;   (** write(2)-then-read(2) round trips *)
+  through_pipes : bool;
+  through_sockets : bool;
+}
+
+(** Pin-class taint: kernel round-trips all lose taint. *)
+let pin_policy =
+  { through_files = false; through_pipes = false; through_sockets = false }
+
+(** Full kernel-object tracking (our extension). *)
+let full_policy =
+  { through_files = true; through_pipes = true; through_sockets = true }
+
+open Vm.Access
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  tainted : bool array;
+      (** per event index: did the instruction read tainted data *)
+  tainted_branch : (int * bool) list;
+      (** (event index, branch direction) of [Jcc]s with tainted flags *)
+  tainted_jumps : int list;
+      (** event indices of indirect jumps/calls with tainted targets *)
+  tainted_count : int;   (** number of tainted [Exec] events *)
+  kernel_writes : int list;
+      (** event indices where tainted data left through the kernel
+          without the policy following it (diagnostic for Es2) *)
+}
+
+let analyze ?(policy = pin_policy) ~(sources : (int64 * int) list)
+    (events : Vm.Event.t array) : result =
+  let mem : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
+  List.iter
+    (fun (addr, len) ->
+       for i = 0 to len - 1 do
+         Hashtbl.replace mem (Int64.add addr (Int64.of_int i)) ()
+       done)
+    sources;
+  let regs : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let xmms : (int * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let flags : (int, unit) Hashtbl.t = Hashtbl.create 4 in
+  (* kernel object shadow: (obj, byte offset); streams (pipes) use a
+     per-object cursor pair so offsets line up *)
+  let kobj : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let mem_tainted a n =
+    let rec go i =
+      i < n && (Hashtbl.mem mem (Int64.add a (Int64.of_int i)) || go (i + 1))
+    in
+    go 0
+  in
+  let set_mem a n v =
+    for i = 0 to n - 1 do
+      let key = Int64.add a (Int64.of_int i) in
+      if v then Hashtbl.replace mem key () else Hashtbl.remove mem key
+    done
+  in
+  let tainted = Array.make (Array.length events) false in
+  let branches = ref [] and jumps = ref [] and kwrites = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun idx ev ->
+       match ev with
+       | Vm.Event.Exec e ->
+         let acc = Vm.Access.of_insn e.regs_before e.insn in
+         let in_taint =
+           List.exists (fun r -> Hashtbl.mem regs (e.tid, Isa.Reg.index r))
+             acc.r_regs
+           || List.exists
+             (fun x -> Hashtbl.mem xmms (e.tid, Isa.Reg.xmm_index x))
+             acc.r_xmm
+           || List.exists (fun (a, n) -> mem_tainted a n) acc.r_mem
+           || (acc.r_flags && Hashtbl.mem flags e.tid)
+         in
+         if in_taint then begin
+           tainted.(idx) <- true;
+           incr count
+         end;
+         (* branch/jump classification *)
+         (match e.insn with
+          | Jcc (_, target) when acc.r_flags && Hashtbl.mem flags e.tid ->
+            branches := (idx, Int64.equal e.next_pc target) :: !branches
+          | (Jmp (Indirect _) | Call (Indirect _)) when in_taint ->
+            jumps := idx :: !jumps
+          | _ -> ());
+         (* strong updates on written state *)
+         List.iter
+           (fun r ->
+              let key = (e.tid, Isa.Reg.index r) in
+              if in_taint then Hashtbl.replace regs key ()
+              else Hashtbl.remove regs key)
+           acc.w_regs;
+         List.iter
+           (fun x ->
+              let key = (e.tid, Isa.Reg.xmm_index x) in
+              if in_taint then Hashtbl.replace xmms key ()
+              else Hashtbl.remove xmms key)
+           acc.w_xmm;
+         List.iter (fun (a, n) -> set_mem a n in_taint) acc.w_mem;
+         if acc.w_flags then
+           if in_taint then Hashtbl.replace flags e.tid ()
+           else Hashtbl.remove flags e.tid
+       | Vm.Event.Sys { record; _ } ->
+         List.iter
+           (fun eff ->
+              match eff with
+              | Vm.Event.Eff_write { obj; off; addr; len } ->
+                (* memory -> kernel object; the policy decides whether
+                   taint survives the kernel round trip *)
+                let follow =
+                  policy.through_files || policy.through_pipes
+                  || policy.through_sockets
+                in
+                let any_tainted = mem_tainted addr len in
+                if any_tainted && not follow then kwrites := idx :: !kwrites;
+                if follow then
+                  for i = 0 to len - 1 do
+                    if mem_tainted (Int64.add addr (Int64.of_int i)) 1 then
+                      Hashtbl.replace kobj (obj, off + i) ()
+                  done
+              | Vm.Event.Eff_read { obj; off; addr; len; _ } ->
+                (* kernel object -> memory: strong update *)
+                ignore record;
+                for i = 0 to len - 1 do
+                  let t = Hashtbl.mem kobj (obj, off + i) in
+                  set_mem (Int64.add addr (Int64.of_int i)) 1 t
+                done
+              | Vm.Event.Eff_spawn _ -> ())
+           record.effects
+       | Vm.Event.Signal _ -> ())
+    events;
+  { tainted;
+    tainted_branch = List.rev !branches;
+    tainted_jumps = List.rev !jumps;
+    tainted_count = !count;
+    kernel_writes = List.rev !kwrites }

@@ -1,0 +1,62 @@
+(** Pin-style instruction tracing: run the concrete machine and record
+    the event stream of the traced process.
+
+    Like Pin, the tracer follows every *thread* of the target process
+    but does not follow forked children — which is precisely why
+    trace-based tools lose the data flow of the fork/pipe bomb. *)
+
+type t = {
+  events : Vm.Event.t array;
+  result : Vm.Machine.run_result;
+  argv_layout : (int64 * int) list;
+      (** where the loader placed each argv string *)
+  image : Asm.Image.t;
+  config : Vm.Machine.config;
+}
+
+(** Record a trace of the root process (its threads included). *)
+let record ?(max_events = 3_000_000) ~(config : Vm.Machine.config) image : t =
+  let machine = Vm.Machine.create ~config image in
+  let events = ref [] in
+  let n = ref 0 in
+  Vm.Machine.set_hook machine (fun ev ->
+      let pid =
+        match ev with
+        | Vm.Event.Exec e -> e.pid
+        | Vm.Event.Sys s -> s.pid
+        | Vm.Event.Signal s -> s.pid
+      in
+      if pid = 1 && !n < max_events then begin
+        events := ev :: !events;
+        incr n
+      end);
+  let result = Vm.Machine.run machine in
+  { events = Array.of_list (List.rev !events);
+    result;
+    argv_layout = machine.argv_layout;
+    image;
+    config }
+
+(** The (address, length) byte region of argv.(i), NUL included. *)
+let argv_region t i = List.nth t.argv_layout i
+
+let exec_count t =
+  Array.fold_left
+    (fun acc ev -> match ev with Vm.Event.Exec _ -> acc + 1 | _ -> acc)
+    0 t.events
+
+(** Executed instructions restricted to a thread. *)
+let execs_of_tid t tid =
+  Array.to_list t.events
+  |> List.filter_map (function
+      | Vm.Event.Exec e when e.tid = tid -> Some e
+      | _ -> None)
+
+let pp_event ppf (ev : Vm.Event.t) =
+  match ev with
+  | Exec e ->
+    Fmt.pf ppf "[%d.%d] %Lx: %s" e.pid e.tid e.pc (Isa.Pp.to_string e.insn)
+  | Sys s -> Fmt.pf ppf "[%d.%d] syscall %s -> %Ld" s.pid s.tid s.record.name
+               s.record.ret
+  | Signal s -> Fmt.pf ppf "[%d.%d] signal %d -> %Lx" s.pid s.tid s.signum
+                  s.handler

@@ -1,0 +1,1 @@
+lib/vm/access.pp.ml: Array Int64 Isa

@@ -1,0 +1,1 @@
+lib/vm/cpu.pp.ml: Array Float Int64 Isa Mem

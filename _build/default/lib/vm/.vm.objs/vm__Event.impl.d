@@ -1,0 +1,1 @@
+lib/vm/event.pp.ml: Isa

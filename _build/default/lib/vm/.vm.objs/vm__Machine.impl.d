@@ -1,0 +1,1 @@
+lib/vm/machine.pp.ml: Access Array Asm Buffer Char Cpu Event Hashtbl Int64 Isa List Mem Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/vm/mem.pp.ml: Buffer Bytes Char Hashtbl Int64 String

@@ -1,0 +1,73 @@
+(** Paged byte-addressable guest memory.
+
+    4-KiB pages allocated on first touch.  [clone] performs the deep
+    copy needed by [fork]; thread tasks share a single [t]. *)
+
+type t = { pages : (int, Bytes.t) Hashtbl.t }
+
+let page_bits = 12
+let page_size = 1 lsl page_bits
+
+let create () = { pages = Hashtbl.create 64 }
+
+let clone t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun k v -> Hashtbl.replace pages k (Bytes.copy v)) t.pages;
+  { pages }
+
+let page t idx =
+  match Hashtbl.find_opt t.pages idx with
+  | Some p -> p
+  | None ->
+    let p = Bytes.make page_size '\000' in
+    Hashtbl.replace t.pages idx p;
+    p
+
+let read_u8 t addr =
+  let addr = Int64.to_int addr in
+  let p = page t (addr lsr page_bits) in
+  Char.code (Bytes.get p (addr land (page_size - 1)))
+
+let write_u8 t addr v =
+  let addr = Int64.to_int addr in
+  let p = page t (addr lsr page_bits) in
+  Bytes.set p (addr land (page_size - 1)) (Char.chr (v land 0xff))
+
+(** Little-endian read of [n] bytes (1..8), zero-extended. *)
+let read t addr n =
+  let v = ref 0L in
+  for i = n - 1 downto 0 do
+    let b = read_u8 t (Int64.add addr (Int64.of_int i)) in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+  done;
+  !v
+
+(** Little-endian write of the low [n] bytes of [v]. *)
+let write t addr n v =
+  for i = 0 to n - 1 do
+    let b = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+    write_u8 t (Int64.add addr (Int64.of_int i)) b
+  done
+
+let read_bytes t addr n =
+  String.init n (fun i -> Char.chr (read_u8 t (Int64.add addr (Int64.of_int i))))
+
+let write_bytes t addr s =
+  String.iteri
+    (fun i c -> write_u8 t (Int64.add addr (Int64.of_int i)) (Char.code c))
+    s
+
+(** Read the NUL-terminated string at [addr] (bounded at [max]). *)
+let read_cstring ?(max = 4096) t addr =
+  let b = Buffer.create 16 in
+  let rec go i =
+    if i >= max then Buffer.contents b
+    else
+      let c = read_u8 t (Int64.add addr (Int64.of_int i)) in
+      if c = 0 then Buffer.contents b
+      else (Buffer.add_char b (Char.chr c); go (i + 1))
+  in
+  go 0
+
+let read_f64 t addr = Int64.float_of_bits (read t addr 8)
+let write_f64 t addr f = write t addr 8 (Int64.bits_of_float f)

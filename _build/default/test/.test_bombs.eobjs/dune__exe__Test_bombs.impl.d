@@ -1,0 +1,1 @@
+test/test_bombs.ml: Alcotest Asm Bombs List Vm

@@ -1,0 +1,1 @@
+test/test_concolic.ml: Alcotest Array Asm Bombs Char Concolic Int64 Ir Libc List QCheck2 QCheck_alcotest Smt String Taint Trace Vm

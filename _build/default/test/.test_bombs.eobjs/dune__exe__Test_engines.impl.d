@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Bombs Concolic Engines List Printf String

@@ -1,0 +1,1 @@
+test/test_libc.ml: Alcotest Asm Char Float Int64 Isa Libc List Ocrypto Printf QCheck2 QCheck_alcotest String Vm

@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Blast Eval Expr Int64 List Printer QCheck2 QCheck_alcotest Sat Simplify Smt Solver String

@@ -1,0 +1,1 @@
+test/test_taint.ml: Alcotest Asm Bombs Char Isa Libc List Taint Trace Vm

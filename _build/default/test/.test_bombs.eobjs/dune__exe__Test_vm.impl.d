@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Asm Bombs Codec Insn Int64 Isa Libc List Option QCheck2 QCheck_alcotest Reg String Vm

@@ -1,0 +1,92 @@
+(** Dataset sanity: every bomb detonates exactly on its documented
+    trigger, binary sizes sit in the paper's range, and images
+    round-trip through serialisation. *)
+
+let run_bomb ?(winning = false) (b : Bombs.Common.t) argv1 =
+  let config = Bombs.Common.config_for ~winning b argv1 in
+  Vm.Machine.run_image ~config (Bombs.Catalog.image b)
+
+let check_triggers (b : Bombs.Common.t) () =
+  match b.trigger with
+  | None ->
+    (* the negative bomb must never fire, even on "winning" input *)
+    let res = run_bomb ~winning:true b "1" in
+    Alcotest.(check bool) "stays quiet" false (Bombs.Common.triggered res)
+  | Some _ ->
+    let res = run_bomb ~winning:true b (Bombs.Common.winning_argv b) in
+    if not (Bombs.Common.triggered res) then
+      Alcotest.failf "%s did not trigger: stdout=%S fault=%s steps=%d"
+        b.name res.stdout
+        (match res.fault with
+         | Some f -> Vm.Machine.show_fault f
+         | None -> "none")
+        res.steps
+
+let check_quiet (b : Bombs.Common.t) () =
+  (* a deliberately wrong input in the neutral environment *)
+  let res = run_bomb b b.decoy in
+  if Bombs.Common.triggered res then
+    Alcotest.failf "%s triggered on wrong input" b.name
+
+let check_exit_code (b : Bombs.Common.t) () =
+  match b.trigger with
+  | None -> ()
+  | Some _ ->
+    let res = run_bomb ~winning:true b (Bombs.Common.winning_argv b) in
+    Alcotest.(check (option int)) "exit 42" (Some Bombs.Common.boom_exit_code)
+      res.exit_code
+
+let size_in_range () =
+  let lo, median, hi = Bombs.Catalog.size_stats () in
+  if lo < 8 * 1024 || hi > 30 * 1024 then
+    Alcotest.failf "sizes out of plausible range: lo=%d hi=%d" lo hi;
+  if median < 9 * 1024 || median > 20 * 1024 then
+    Alcotest.failf "median size %d outside paper-like band" median
+
+let count_is_22 () =
+  Alcotest.(check int) "Table II has 22 bombs" 22
+    (List.length Bombs.Catalog.table2)
+
+let image_roundtrip () =
+  List.iter
+    (fun b ->
+       let img = Bombs.Catalog.image b in
+       let bytes = Asm.Image.to_bytes img in
+       let img' = Asm.Image.of_bytes bytes in
+       Alcotest.(check string) "text survives" img.text img'.Asm.Image.text;
+       Alcotest.(check string) "data survives" img.data img'.Asm.Image.data;
+       Alcotest.(check int) "symbol count"
+         (List.length img.symbols)
+         (List.length img'.symbols))
+    Bombs.Catalog.all
+
+let categories_cover_paper () =
+  let expected =
+    [ "Symbolic Variable Declaration"; "Covert Symbolic Propagation";
+      "Parallel Program"; "Symbolic Array"; "Contextual Symbolic Value";
+      "Symbolic Jump"; "Floating-point Number"; "External Function Call";
+      "Crypto Function" ]
+  in
+  let actual =
+    List.sort_uniq compare
+      (List.map (fun (b : Bombs.Common.t) -> b.category) Bombs.Catalog.table2)
+  in
+  Alcotest.(check (list string)) "categories" (List.sort compare expected)
+    actual
+
+let tests =
+  List.concat_map
+    (fun (b : Bombs.Common.t) ->
+       [ Alcotest.test_case (b.name ^ " triggers") `Quick (check_triggers b);
+         Alcotest.test_case (b.name ^ " quiet on wrong input") `Quick
+           (check_quiet b);
+         Alcotest.test_case (b.name ^ " exit code") `Quick (check_exit_code b)
+       ])
+    Bombs.Catalog.all
+  @ [ Alcotest.test_case "dataset sizes in range" `Quick size_in_range;
+      Alcotest.test_case "22 bombs" `Quick count_is_22;
+      Alcotest.test_case "image round-trip" `Quick image_roundtrip;
+      Alcotest.test_case "paper categories covered" `Quick
+        categories_cover_paper ]
+
+let () = Alcotest.run "bombs" [ ("bombs", tests) ]

@@ -1,0 +1,270 @@
+(** Concolic-core tests: lifter-vs-CPU consistency (property), trace
+    executor constraint extraction, memory models, kernel-taint
+    policies, the driver loop, and the DSE engine. *)
+
+module Dsl = Asm.Ast.Dsl
+module E = Smt.Expr
+
+(* ---------------- lifter agrees with the CPU ---------------- *)
+
+(* Execute a short straight-line program twice — concretely on the
+   CPU, and through lift + symbolic execution with a fully concrete
+   state — and compare the final registers. *)
+
+let lifter_matches_cpu_on program =
+  let open Dsl in
+  let items = (label "main" :: program) @ [ mov rax (imm 0); ret ] in
+  let image = Libc.Runtime.link_with_libs (Asm.Ast.obj items) in
+  let config = { Vm.Machine.default_config with argv = [ "t"; "abc" ] } in
+  let trace = Trace.record ~config image in
+  (* full-feature symbolic execution, no symbolic sources: every
+     register the program writes must match the concrete trace *)
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with
+      features = Ir.Lifter.full;
+      lift_stack_ops = true }
+  in
+  let path = Concolic.Trace_exec.run cfg ~sources:[] trace in
+  (* with no symbolic inputs there must be no constraints at all, and
+     no diagnostics *)
+  List.length path.constraints = 0 && not (Concolic.Error.has_lift_failure path.diags)
+
+let gen_program =
+  let open QCheck2.Gen in
+  let open Dsl in
+  let gen_src =
+    oneof
+      [ map (fun v -> imm (v land 0xffff)) int;
+        oneofl [ rax; rbx; rcx; rdx; rsi; rdi ] ]
+  in
+  let gen_dst = oneofl [ rax; rbx; rcx; rdx; rsi; rdi ] in
+  let gen_item =
+    let* d = gen_dst and* s = gen_src in
+    oneofl
+      [ mov d s; add d s; sub d s; and_ d s; or_ d s; xor d s; imul d s;
+        cmp d s; test d s ]
+  in
+  list_size (int_range 1 15) gen_item
+
+let lifter_consistency =
+  QCheck2.Test.make ~count:80 ~name:"lifter agrees with CPU" gen_program
+    lifter_matches_cpu_on
+
+(* ---------------- constraint extraction ---------------- *)
+
+let run_trace ?(argv1 = "5") ?(cfg = Concolic.Trace_exec.bap_like_config)
+    (bomb : Bombs.Common.t) =
+  let config = Bombs.Common.config_for bomb argv1 in
+  let trace = Trace.record ~config (Bombs.Catalog.image bomb) in
+  Concolic.Trace_exec.run cfg trace
+
+let constraints_solvable_to_trigger () =
+  (* stack bomb with full features: negating the final branch must
+     give 'K' *)
+  let bomb = Bombs.Catalog.find "stack_bomb" in
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with lift_stack_ops = true }
+  in
+  let path = run_trace ~cfg bomb in
+  match List.rev path.branches with
+  | [] -> Alcotest.fail "no symbolic branches"
+  | last :: _ -> (
+      let prefix =
+        List.filteri (fun i _ -> i < last.seq) (List.map fst path.constraints)
+      in
+      match Smt.Solver.solve (prefix @ [ E.not_ last.cond ]) with
+      | Smt.Solver.Sat model ->
+        Alcotest.(check int64) "solved to K" (Int64.of_int (Char.code 'K'))
+          (List.assoc "argv1_0" model)
+      | o -> Alcotest.failf "unexpected %s" (Smt.Solver.outcome_to_string o))
+
+let fp_lift_gap_detected () =
+  let bomb = Bombs.Catalog.find "float_bomb" in
+  let path = run_trace ~argv1:"9999" bomb in
+  Alcotest.(check bool) "Es1 diag on fp instruction" true
+    (Concolic.Error.has_lift_failure path.diags)
+
+let fp_constraints_with_full_lifting () =
+  let bomb = Bombs.Catalog.find "float_bomb" in
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with features = Ir.Lifter.full }
+  in
+  let path = run_trace ~argv1:"9999" ~cfg bomb in
+  let cs = List.map fst path.constraints in
+  Alcotest.(check bool) "fp constraint present" true
+    (List.exists E.contains_fp cs)
+
+let covert_taint_policy_matters () =
+  let bomb = Bombs.Catalog.find "file_bomb" in
+  (* pin policy loses it *)
+  let p1 = run_trace ~argv1:"apple" bomb in
+  Alcotest.(check bool) "pin policy loses taint" true
+    (List.exists
+       (Concolic.Error.equal_diag Concolic.Error.Taint_lost_in_kernel)
+       p1.diags);
+  (* full policy keeps the data flow solvable: negate the strcmp
+     result branch and ask for "mango" *)
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with
+      taint_policy = Taint.full_policy;
+      lift_stack_ops = true }
+  in
+  let p2 = run_trace ~argv1:"apple" ~cfg bomb in
+  let ordered = Array.of_list p2.constraints in
+  let solved =
+    List.exists
+      (fun (b : Concolic.Trace_exec.branch) ->
+         let prefix =
+           Array.to_list (Array.sub ordered 0 b.seq) |> List.map fst
+         in
+         match Smt.Solver.solve (prefix @ [ E.not_ b.cond ]) with
+         | Smt.Solver.Sat model -> (
+             match List.assoc_opt "argv1_0" model with
+             | Some v -> Int64.to_int v = Char.code 'm'
+             | None -> false)
+         | _ -> false)
+      p2.branches
+  in
+  Alcotest.(check bool) "full policy recovers 'm…'" true solved
+
+let memory_model_gap () =
+  let bomb = Bombs.Catalog.find "array1_bomb" in
+  (* concrete-only: diag + no way to the bomb *)
+  let p1 = run_trace bomb in
+  Alcotest.(check bool) "concretized load" true
+    (List.exists
+       (function Concolic.Error.Concretized_load _ -> true | _ -> false)
+       p1.diags);
+  (* indexed memory: the table relation is in the constraints; the
+     branch can be solved to index 6 *)
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with
+      mem_mode = Concolic.Sym_exec.Indexed { window = 32; max_depth = 1 } }
+  in
+  let p2 = run_trace ~cfg bomb in
+  let ordered = Array.of_list p2.constraints in
+  let solved =
+    List.exists
+      (fun (b : Concolic.Trace_exec.branch) ->
+         let prefix =
+           Array.to_list (Array.sub ordered 0 b.seq) |> List.map fst
+         in
+         match Smt.Solver.solve (prefix @ [ E.not_ b.cond ]) with
+         | Smt.Solver.Sat model -> (
+             match List.assoc_opt "argv1_0" model with
+             | Some v -> Int64.to_int v = Char.code '6'
+             | None -> false)
+         | _ -> false)
+      p2.branches
+  in
+  Alcotest.(check bool) "indexed model solves to '6'" true solved
+
+(* ---------------- driver ---------------- *)
+
+let driver_cracks_stack_bomb () =
+  let bomb = Bombs.Catalog.find "stack_bomb" in
+  let cfg =
+    { Concolic.Trace_exec.bap_like_config with lift_stack_ops = true }
+  in
+  let config = Concolic.Driver.default_config cfg in
+  let target =
+    { Concolic.Driver.image = Bombs.Catalog.image bomb;
+      run_config = (fun i -> Bombs.Common.config_for bomb i);
+      detonated = Bombs.Common.triggered }
+  in
+  match Concolic.Driver.explore ~seed:"A" config target with
+  | { solved_input = Some "K"; _ } -> ()
+  | { solved_input = Some other; _ } ->
+    Alcotest.failf "unexpected input %S" other
+  | { solved_input = None; _ } -> Alcotest.fail "not solved"
+
+let driver_respects_iteration_budget () =
+  let bomb = Bombs.Catalog.find "sha1_bomb" in
+  let config =
+    { (Concolic.Driver.default_config Concolic.Trace_exec.triton_like_config)
+      with max_iterations = 3 }
+  in
+  let target =
+    { Concolic.Driver.image = Bombs.Catalog.image bomb;
+      run_config = (fun i -> Bombs.Common.config_for bomb i);
+      detonated = Bombs.Common.triggered }
+  in
+  let v = Concolic.Driver.explore ~seed:"zz" config target in
+  Alcotest.(check bool) "bounded" true (v.iterations <= 3);
+  Alcotest.(check bool) "not solved" true (v.solved_input = None)
+
+(* ---------------- DSE ---------------- *)
+
+let dse_solves_array1 () =
+  let bomb = Bombs.Catalog.find "array1_bomb" in
+  let config = Concolic.Dse.default_config Concolic.Dse.With_libs in
+  let o = Concolic.Dse.explore config (Bombs.Catalog.image bomb) in
+  match o.claims with
+  | { input; _ } :: _ ->
+    Alcotest.(check char) "first char 6" '6' input.[0]
+  | [] -> Alcotest.fail "no claim"
+
+let dse_misses_array2 () =
+  let bomb = Bombs.Catalog.find "array2_bomb" in
+  let config = Concolic.Dse.default_config Concolic.Dse.With_libs in
+  let o = Concolic.Dse.explore config (Bombs.Catalog.image bomb) in
+  let hit =
+    List.exists
+      (fun (c : Concolic.Dse.claim) ->
+         let res =
+           Vm.Machine.run_image
+             ~config:(Bombs.Common.config_for bomb c.input)
+             (Bombs.Catalog.image bomb)
+         in
+         Bombs.Common.triggered res)
+      o.claims
+  in
+  Alcotest.(check bool) "level-two array defeats depth-1 model" false hit
+
+let dse_sequential_fork () =
+  let bomb = Bombs.Catalog.find "fork_bomb" in
+  let config = Concolic.Dse.default_config Concolic.Dse.No_libs in
+  let o = Concolic.Dse.explore config (Bombs.Catalog.image bomb) in
+  let hit =
+    List.exists
+      (fun (c : Concolic.Dse.claim) ->
+         let res =
+           Vm.Machine.run_image
+             ~config:(Bombs.Common.config_for bomb c.input)
+             (Bombs.Catalog.image bomb)
+         in
+         Bombs.Common.triggered res)
+      o.claims
+  in
+  Alcotest.(check bool) "NoLib fork summary solves it" true hit
+
+let dse_crashes_on_socket () =
+  let bomb = Bombs.Catalog.find "web_bomb" in
+  let config = Concolic.Dse.default_config Concolic.Dse.With_libs in
+  let o = Concolic.Dse.explore config (Bombs.Catalog.image bomb) in
+  Alcotest.(check bool) "crashed" true (o.crashed <> None)
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ lifter_consistency ]
+
+let () =
+  Alcotest.run "concolic"
+    [ ("lifter", qtests);
+      ("trace-exec",
+       [ Alcotest.test_case "solvable constraints" `Quick
+           constraints_solvable_to_trigger;
+         Alcotest.test_case "fp lift gap" `Quick fp_lift_gap_detected;
+         Alcotest.test_case "fp constraints" `Quick
+           fp_constraints_with_full_lifting;
+         Alcotest.test_case "covert taint policy" `Quick
+           covert_taint_policy_matters;
+         Alcotest.test_case "memory model gap" `Quick memory_model_gap ]);
+      ("driver",
+       [ Alcotest.test_case "cracks stack bomb" `Quick
+           driver_cracks_stack_bomb;
+         Alcotest.test_case "iteration budget" `Quick
+           driver_respects_iteration_budget ]);
+      ("dse",
+       [ Alcotest.test_case "solves one-level array" `Quick dse_solves_array1;
+         Alcotest.test_case "misses two-level array" `Quick dse_misses_array2;
+         Alcotest.test_case "sequential fork" `Quick dse_sequential_fork;
+         Alcotest.test_case "socket crash" `Quick dse_crashes_on_socket ]) ]

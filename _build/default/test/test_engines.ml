@@ -1,0 +1,117 @@
+(** Engine-level tests: selected Table II cells (the fast ones), the
+    negative bomb, Figure 3, and the labeling logic. *)
+
+open Concolic.Error
+
+let check_cell tool bomb_name expected () =
+  let bomb = Bombs.Catalog.find bomb_name in
+  let g = Engines.Grade.run_cell tool bomb in
+  Alcotest.(check string)
+    (Printf.sprintf "%s on %s" (Engines.Profile.name tool) bomb_name)
+    (cell_symbol expected) (cell_symbol g.cell)
+
+let fig3_shape () =
+  let r = Engines.Eval.run_fig3 () in
+  (* the paper: 5 instructions -> 66 (61 more); our libc differs in
+     absolute counts, but printf must add dozens of tainted
+     instructions and several tainted branches *)
+  Alcotest.(check bool) "noprint small" true (r.noprint_tainted <= 15);
+  Alcotest.(check bool) "print adds 40+" true
+    (r.print_tainted - r.noprint_tainted >= 40);
+  Alcotest.(check bool) "branch count grows" true
+    (r.print_branches > r.noprint_branches)
+
+let negative_bomb_false_positive () =
+  let results = Engines.Eval.run_negative () in
+  let nolib =
+    List.find
+      (fun (r : Engines.Eval.negative_result) ->
+         r.tool = Engines.Profile.Angr_nolib)
+      results
+  in
+  Alcotest.(check bool) "angr-nolib claims the dead bomb" true nolib.claimed;
+  Alcotest.(check bool) "it never detonates" false nolib.detonated
+
+let solved_counts_shape () =
+  (* headline: Angr solves the most; BAP and Triton trail far behind.
+     run the cheap representative subset *)
+  let bombs =
+    List.map Bombs.Catalog.find
+      [ "time_bomb"; "argvlen_bomb"; "stack_bomb"; "array1_bomb";
+        "array2_bomb"; "jump_bomb" ]
+  in
+  let r = Engines.Eval.run_table2 ~bombs () in
+  let solved tool = List.assoc tool r.solved in
+  Alcotest.(check bool) "angr >= bap" true
+    (solved Engines.Profile.Angr >= solved Engines.Profile.Bap);
+  Alcotest.(check bool) "angr >= triton" true
+    (solved Engines.Profile.Angr >= solved Engines.Profile.Triton)
+
+let table1_covers_all_challenges () =
+  let s = Engines.Eval.render_table1 () in
+  List.iter
+    (fun c ->
+       if not
+           (let n = String.length c in
+            let h = String.length s in
+            let rec scan i = i + n <= h && (String.sub s i n = c || scan (i + 1)) in
+            scan 0)
+       then Alcotest.failf "missing challenge %s" c)
+    [ "Symbolic Array"; "Symbolic Jump"; "Floating-point" ]
+
+let () =
+  Alcotest.run "engines"
+    [ ("cells",
+       [ (* declaration *)
+         Alcotest.test_case "bap/time Es0" `Quick
+           (check_cell Engines.Profile.Bap "time_bomb" (Fail Es0));
+         Alcotest.test_case "triton/time Es0" `Quick
+           (check_cell Engines.Profile.Triton "time_bomb" (Fail Es0));
+         Alcotest.test_case "angr/time Es0" `Quick
+           (check_cell Engines.Profile.Angr "time_bomb" (Fail Es0));
+         (* covert: stack *)
+         Alcotest.test_case "bap/stack Es1" `Quick
+           (check_cell Engines.Profile.Bap "stack_bomb" (Fail Es1));
+         Alcotest.test_case "triton/stack OK" `Quick
+           (check_cell Engines.Profile.Triton "stack_bomb" Success);
+         Alcotest.test_case "angr/stack OK" `Quick
+           (check_cell Engines.Profile.Angr "stack_bomb" Success);
+         (* arrays *)
+         Alcotest.test_case "triton/array1 Es3" `Quick
+           (check_cell Engines.Profile.Triton "array1_bomb" (Fail Es3));
+         Alcotest.test_case "angr/array1 OK" `Quick
+           (check_cell Engines.Profile.Angr "array1_bomb" Success);
+         Alcotest.test_case "angr/array2 Es3" `Quick
+           (check_cell Engines.Profile.Angr "array2_bomb" (Fail Es3));
+         (* length of argv *)
+         Alcotest.test_case "angr/argvlen OK" `Quick
+           (check_cell Engines.Profile.Angr "argvlen_bomb" Success);
+         (* syscall return *)
+         Alcotest.test_case "angr/sysret P" `Quick
+           (check_cell Engines.Profile.Angr "sysret_bomb" Partial);
+         (* fp *)
+         Alcotest.test_case "bap/float Es1" `Quick
+           (check_cell Engines.Profile.Bap "float_bomb" (Fail Es1));
+         Alcotest.test_case "triton/float Es1" `Quick
+           (check_cell Engines.Profile.Triton "float_bomb" (Fail Es1));
+         (* web: socket crash *)
+         Alcotest.test_case "angr/web E" `Quick
+           (check_cell Engines.Profile.Angr "web_bomb" Abnormal);
+         (* exception: BAP models the fault branch *)
+         Alcotest.test_case "bap/exception OK" `Quick
+           (check_cell Engines.Profile.Bap "exception_bomb" Success);
+         (* threads: BAP's flat trace wins, Triton's view loses *)
+         Alcotest.test_case "bap/pthread OK" `Quick
+           (check_cell Engines.Profile.Bap "pthread_bomb" Success);
+         Alcotest.test_case "triton/pthread Es2" `Quick
+           (check_cell Engines.Profile.Triton "pthread_bomb" (Fail Es2));
+         (* fork: only the NoLib summary solves it *)
+         Alcotest.test_case "angr-nolib/fork OK" `Quick
+           (check_cell Engines.Profile.Angr_nolib "fork_bomb" Success) ]);
+      ("aggregates",
+       [ Alcotest.test_case "fig3 shape" `Quick fig3_shape;
+         Alcotest.test_case "negative bomb" `Quick
+           negative_bomb_false_positive;
+         Alcotest.test_case "solved counts shape" `Quick solved_counts_shape;
+         Alcotest.test_case "table1 coverage" `Quick
+           table1_covers_all_challenges ]) ]

@@ -1,0 +1,216 @@
+(** Guest runtime vs host reference: string routines, atoi, printf,
+    rand, sin, SHA-1 and AES are exercised with property-based inputs
+    and compared against OCaml implementations. *)
+
+module Dsl = Asm.Ast.Dsl
+
+(* run a guest main that calls [fn] on string arguments placed in
+   data, and writes the i64 result as 8 raw bytes to stdout *)
+let call_guest_i64 ~data ~setup fn =
+  let open Dsl in
+  let prog =
+    Asm.Ast.obj
+      ~data
+      ~bss:[ label "__res"; space 8 ]
+      ((label "main" :: setup)
+       @ [ call fn;
+           lea rcx "__res";
+           mov (mreg Isa.Reg.RCX) rax;
+           mov rdi (imm 1);
+           lea rsi "__res";
+           mov rdx (imm 8);
+           call "write";
+           mov rax (imm 0);
+           ret ])
+  in
+  let image = Libc.Runtime.link_with_libs prog in
+  let r = Vm.Machine.run_image image in
+  let v = ref 0L in
+  String.iteri
+    (fun i c ->
+       if i < 8 then
+         v := Int64.logor !v (Int64.shift_left (Int64.of_int (Char.code c)) (8 * i)))
+    r.stdout;
+  !v
+
+(* printable strings without NUL *)
+let gen_str =
+  QCheck2.Gen.(string_size ~gen:(char_range 'a' 'z') (int_range 0 12))
+
+let gen_int_str =
+  QCheck2.Gen.(
+    map
+      (fun (neg, n) -> (if neg then "-" else "") ^ string_of_int n)
+      (pair bool (int_bound 1_000_000)))
+
+let strlen_matches =
+  QCheck2.Test.make ~count:40 ~name:"guest strlen = String.length" gen_str
+    (fun s ->
+       let v =
+         call_guest_i64
+           ~data:Dsl.[ label "__s"; asciz s ]
+           ~setup:Dsl.[ lea rdi "__s" ]
+           "strlen"
+       in
+       Int64.to_int v = String.length s)
+
+let strcmp_matches =
+  QCheck2.Test.make ~count:40 ~name:"guest strcmp sign = compare sign"
+    QCheck2.Gen.(pair gen_str gen_str)
+    (fun (a, b) ->
+       let v =
+         call_guest_i64
+           ~data:Dsl.[ label "__a"; asciz a; label "__b"; asciz b ]
+           ~setup:Dsl.[ lea rdi "__a"; lea rsi "__b" ]
+           "strcmp"
+       in
+       let sign x = compare x 0 in
+       sign (Int64.to_int v) = sign (compare a b))
+
+let atoi_matches =
+  QCheck2.Test.make ~count:40 ~name:"guest atoi = int_of_string" gen_int_str
+    (fun s ->
+       let v =
+         call_guest_i64
+           ~data:Dsl.[ label "__n"; asciz s ]
+           ~setup:Dsl.[ lea rdi "__n" ]
+           "atoi"
+       in
+       Int64.to_int v = int_of_string s)
+
+let rand_matches_host_mirror =
+  QCheck2.Test.make ~count:20 ~name:"guest rand = host mirror"
+    QCheck2.Gen.(int_bound 100000)
+    (fun seed ->
+       let v =
+         call_guest_i64 ~data:[]
+           ~setup:
+             Dsl.
+               [ mov rdi (imm seed);
+                 call "srand" ]
+           "rand"
+       in
+       Int64.to_int v = Libc.Rand.first_rand (Int64.of_int seed))
+
+(* printf: compare against OCaml's Printf for a fixed format *)
+let printf_cases () =
+  let cases =
+    [ (123, 0xff, "x"); (-7, 0, "world"); (0, 0xabcdef, "") ]
+  in
+  List.iter
+    (fun (d, x, s) ->
+       let open Dsl in
+       let prog =
+         Asm.Ast.obj
+           ~data:[ label "__fmt"; asciz "d=%d x=%x s=%s!";
+                   label "__str"; asciz s ]
+           [ label "main";
+             lea rdi "__fmt";
+             mov rsi (imm d);
+             mov rdx (imm x);
+             lea rcx "__str";
+             call "printf";
+             mov rax (imm 0);
+             ret ]
+       in
+       let image = Libc.Runtime.link_with_libs prog in
+       let r = Vm.Machine.run_image image in
+       Alcotest.(check string) "printf output"
+         (Printf.sprintf "d=%d x=%x s=%s!" d x s)
+         r.stdout)
+    cases
+
+let sha1_matches =
+  QCheck2.Test.make ~count:15 ~name:"guest sha1 = host sha1" gen_str
+    (fun s ->
+       let open Dsl in
+       let prog =
+         Asm.Ast.obj
+           ~data:[ label "__m"; asciz s ]
+           ~bss:[ label "__out"; space 20 ]
+           [ label "main";
+             lea rdi "__m";
+             mov rsi (imm (String.length s));
+             lea rdx "__out";
+             call "sha1";
+             mov rdi (imm 1);
+             lea rsi "__out";
+             mov rdx (imm 20);
+             call "write";
+             mov rax (imm 0);
+             ret ]
+       in
+       let image = Libc.Runtime.link_with_libs prog in
+       let r = Vm.Machine.run_image image in
+       r.stdout = Ocrypto.Sha1.digest s)
+
+let aes_matches =
+  QCheck2.Test.make ~count:15 ~name:"guest aes = host aes"
+    QCheck2.Gen.(pair (string_size ~gen:char (return 16))
+                   (string_size ~gen:char (return 16)))
+    (fun (block, key) ->
+       let open Dsl in
+       let prog =
+         Asm.Ast.obj
+           ~data:[ label "__in"; Asm.Ast.Bytes block;
+                   label "__key"; Asm.Ast.Bytes key ]
+           ~bss:[ label "__out"; space 16 ]
+           [ label "main";
+             lea rdi "__in";
+             lea rsi "__key";
+             lea rdx "__out";
+             call "aes128_encrypt";
+             mov rdi (imm 1);
+             lea rsi "__out";
+             mov rdx (imm 16);
+             call "write";
+             mov rax (imm 0);
+             ret ]
+       in
+       let image = Libc.Runtime.link_with_libs prog in
+       let r = Vm.Machine.run_image image in
+       r.stdout = Ocrypto.Aes.encrypt_block ~key block)
+
+let sin_accuracy =
+  QCheck2.Test.make ~count:25 ~name:"guest sin close to host sin"
+    QCheck2.Gen.(int_range (-6) 6)
+    (fun x ->
+       let open Dsl in
+       let prog =
+         Asm.Ast.obj
+           ~bss:[ label "__out"; space 8 ]
+           [ label "main";
+             mov rax (imm x);
+             cvtsi2sd Isa.Reg.XMM0 rax;
+             call "sin";
+             lea rax "__out";
+             movsd_store (mreg Isa.Reg.RAX) Isa.Reg.XMM0;
+             mov rdi (imm 1);
+             lea rsi "__out";
+             mov rdx (imm 8);
+             call "write";
+             mov rax (imm 0);
+             ret ]
+       in
+       let image = Libc.Runtime.link_with_libs prog in
+       let r = Vm.Machine.run_image image in
+       let bits = ref 0L in
+       String.iteri
+         (fun i c ->
+            if i < 8 then
+              bits :=
+                Int64.logor !bits
+                  (Int64.shift_left (Int64.of_int (Char.code c)) (8 * i)))
+         r.stdout;
+       let v = Int64.float_of_bits !bits in
+       Float.abs (v -. sin (float_of_int x)) < 1e-6)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ strlen_matches; strcmp_matches; atoi_matches; rand_matches_host_mirror;
+      sha1_matches; aes_matches; sin_accuracy ]
+
+let () =
+  Alcotest.run "libc"
+    [ ("guest-vs-host", qtests);
+      ("printf", [ Alcotest.test_case "printf formats" `Quick printf_cases ]) ]

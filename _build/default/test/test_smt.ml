@@ -1,0 +1,246 @@
+(** SMT substrate tests: SAT solver basics, bit-blaster vs evaluator
+    agreement (property-based), simplifier soundness, solver outcomes
+    on hand-picked constraints, and the FP search fallback. *)
+
+open Smt
+
+(* ---------------- SAT ---------------- *)
+
+let sat_basic () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ Sat.mk_lit a true; Sat.mk_lit b true ];
+  Sat.add_clause s [ Sat.mk_lit a false ];
+  (match Sat.solve s with
+   | Sat -> ()
+   | _ -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "a false" false (Sat.model_value s a);
+  Alcotest.(check bool) "b true" true (Sat.model_value s b)
+
+let sat_unsat () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ Sat.mk_lit a true ];
+  Sat.add_clause s [ Sat.mk_lit a false ];
+  match Sat.solve s with
+  | Unsat -> ()
+  | _ -> Alcotest.fail "expected unsat"
+
+(* pigeonhole PHP(4,3): unsat, requires real conflict analysis *)
+let sat_pigeonhole () =
+  let s = Sat.create () in
+  let v = Array.init 4 (fun _ -> Array.init 3 (fun _ -> Sat.new_var s)) in
+  for p = 0 to 3 do
+    Sat.add_clause s (List.init 3 (fun h -> Sat.mk_lit v.(p).(h) true))
+  done;
+  for h = 0 to 2 do
+    for p1 = 0 to 3 do
+      for p2 = p1 + 1 to 3 do
+        Sat.add_clause s
+          [ Sat.mk_lit v.(p1).(h) false; Sat.mk_lit v.(p2).(h) false ]
+      done
+    done
+  done;
+  match Sat.solve s with
+  | Unsat -> ()
+  | _ -> Alcotest.fail "pigeonhole should be unsat"
+
+(* random 3-SAT instances: solver's model must satisfy all clauses *)
+let sat_random_models () =
+  let rng = ref 123456789 in
+  let rand n = rng := (!rng * 1103515245 + 12345) land 0x3fffffff; !rng mod n in
+  for _case = 1 to 50 do
+    let s = Sat.create () in
+    let nv = 8 + rand 10 in
+    let vars = Array.init nv (fun _ -> Sat.new_var s) in
+    let clauses = ref [] in
+    for _c = 1 to 3 * nv do
+      let clause =
+        List.init 3 (fun _ -> Sat.mk_lit vars.(rand nv) (rand 2 = 0))
+      in
+      clauses := clause :: !clauses;
+      Sat.add_clause s clause
+    done;
+    match Sat.solve s with
+    | Sat ->
+      List.iter
+        (fun clause ->
+           let ok =
+             List.exists
+               (fun l ->
+                  let v = Sat.model_value s (Sat.lit_var l) in
+                  if Sat.lit_sign l then v else not v)
+               clause
+           in
+           if not ok then Alcotest.fail "model does not satisfy clause")
+        !clauses
+    | Unsat -> () (* random instances may be unsat; fine *)
+    | Unknown -> Alcotest.fail "unexpected unknown"
+  done
+
+(* ---------------- expr generators ---------------- *)
+
+let gen_expr_with_var : (Expr.t * int) QCheck2.Gen.t =
+  (* returns (expr of given width, depth); one variable "x" of width 16 *)
+  let open QCheck2.Gen in
+  let leaf w =
+    oneof
+      [ map (fun v -> Expr.const ~width:w (Int64.of_int v)) (int_bound 0xffff);
+        (if w = 16 then return (Expr.var ~width:16 "x")
+         else return (Expr.const ~width:w 3L)) ]
+  in
+  let rec build w depth =
+    if depth = 0 then leaf w
+    else
+      let sub = build w (depth - 1) in
+      oneof
+        [ leaf w;
+          map2 (fun op (a, b) -> Expr.Binop (op, a, b))
+            (oneofl
+               [ Expr.Add; Sub; Mul; And; Or; Xor; Shl; Lshr; Ashr; Udiv;
+                 Urem; Sdiv; Srem ])
+            (pair sub sub);
+          map (fun a -> Expr.Unop (Not, a)) sub;
+          map (fun a -> Expr.Unop (Neg, a)) sub;
+          map3 (fun c a b -> Expr.ite c a b)
+            (map2 (fun op (a, b) -> Expr.Cmp (op, a, b))
+               (oneofl [ Expr.Eq; Ult; Ule; Slt; Sle ])
+               (pair sub sub))
+            sub sub ]
+  in
+  map (fun e -> (e, 3)) (build 16 3)
+
+(* blast "e == value-under-env" and check SAT; i.e. the circuit agrees
+   with the evaluator *)
+let blast_agrees_with_eval =
+  QCheck2.Test.make ~count:200 ~name:"bit-blaster agrees with evaluator"
+    gen_expr_with_var
+    (fun (e, _) ->
+       let env = Eval.env_of_list [ ("x", 0xABCDL) ] in
+       let expected = Eval.eval env e in
+       let w = Expr.width_of e in
+       let c =
+         Expr.and_
+           (Expr.eq e (Expr.const ~width:w expected))
+           (Expr.eq (Expr.var ~width:16 "x") (Expr.const ~width:16 0xABCDL))
+       in
+       let ctx = Blast.create () in
+       Blast.assert_true ctx c;
+       match Blast.solve ctx with Sat -> true | _ -> false)
+
+let simplify_sound =
+  QCheck2.Test.make ~count:300 ~name:"simplify preserves evaluation"
+    gen_expr_with_var
+    (fun (e, _) ->
+       let env = Eval.env_of_list [ ("x", 0x1234L) ] in
+       let before = Eval.eval env e in
+       let after = Eval.eval env (Simplify.run e) in
+       Int64.equal before after)
+
+(* ---------------- end-to-end solver ---------------- *)
+
+let solve_simple_eq () =
+  let x = Expr.var ~width:8 "x" in
+  let c = Expr.eq (Expr.Binop (Add, x, Expr.const ~width:8 5L))
+      (Expr.const ~width:8 42L) in
+  match Solver.solve [ c ] with
+  | Sat m -> Alcotest.(check int64) "x" 37L (List.assoc "x" m)
+  | o -> Alcotest.failf "expected sat, got %s" (Solver.outcome_to_string o)
+
+let solve_mul_inverse () =
+  (* 3 * x == 51 over 16 bits: x = 17 (mod inverse also possible; any
+     model must satisfy) *)
+  let x = Expr.var ~width:16 "x" in
+  let c =
+    Expr.eq
+      (Expr.Binop (Mul, Expr.const ~width:16 3L, x))
+      (Expr.const ~width:16 51L)
+  in
+  match Solver.solve [ c ] with
+  | Sat m ->
+    let v = List.assoc "x" m in
+    Alcotest.(check int64) "3x=51" 51L
+      (Int64.logand (Int64.mul 3L v) 0xffffL)
+  | o -> Alcotest.failf "expected sat, got %s" (Solver.outcome_to_string o)
+
+let solve_unsat () =
+  let x = Expr.var ~width:8 "x" in
+  let c1 = Expr.Cmp (Ult, x, Expr.const ~width:8 5L) in
+  let c2 = Expr.Cmp (Ult, Expr.const ~width:8 10L, x) in
+  match Solver.solve [ c1; c2 ] with
+  | Unsat -> ()
+  | o -> Alcotest.failf "expected unsat, got %s" (Solver.outcome_to_string o)
+
+let solve_sdiv_by_zero_semantics () =
+  (* our evaluator: sdiv by 0 = mask; the circuit must agree *)
+  let x = Expr.var ~width:8 "x" in
+  let c =
+    Expr.eq
+      (Expr.Binop (Udiv, Expr.const ~width:8 7L, Expr.const ~width:8 0L))
+      x
+  in
+  match Solver.solve [ c ] with
+  | Sat m -> Alcotest.(check int64) "7/0 = 0xff" 0xffL (List.assoc "x" m)
+  | o -> Alcotest.failf "expected sat, got %s" (Solver.outcome_to_string o)
+
+let fp_needs_fallback () =
+  let x = Expr.var ~width:64 "x" in
+  let c = Expr.Fcmp (Feq, Expr.Fof_int x, Expr.const (Int64.bits_of_float 7.0))
+  in
+  (match Solver.solve [ c ] with
+   | Unknown Fp_unsupported -> ()
+   | o -> Alcotest.failf "expected fp-unsupported, got %s"
+            (Solver.outcome_to_string o));
+  let config = { Solver.default_config with enable_fp_search = true } in
+  match Solver.solve ~config [ c ] with
+  | Sat m -> Alcotest.(check int64) "x=7" 7L (List.assoc "x" m)
+  | o -> Alcotest.failf "expected sat via search, got %s"
+           (Solver.outcome_to_string o)
+
+let fp_rounding_search () =
+  (* the float bomb's core: 1024 + x == 1024 && x > 0 over doubles *)
+  let x = Expr.var ~width:64 "x" in
+  let c1024 = Expr.const (Int64.bits_of_float 1024.0) in
+  let zero = Expr.const (Int64.bits_of_float 0.0) in
+  let c1 = Expr.Fcmp (Feq, Expr.Fbin (Fadd, c1024, x), c1024) in
+  let c2 = Expr.Fcmp (Flt, zero, x) in
+  let config = { Solver.default_config with enable_fp_search = true } in
+  match Solver.solve ~config [ c1; c2 ] with
+  | Sat m ->
+    let v = Int64.float_of_bits (List.assoc "x" m) in
+    Alcotest.(check bool) "positive" true (v > 0.0);
+    Alcotest.(check bool) "absorbed" true (1024.0 +. v = 1024.0)
+  | o -> Alcotest.failf "expected sat, got %s" (Solver.outcome_to_string o)
+
+let printers_smoke () =
+  let x = Expr.var ~width:8 "x" in
+  let c = Expr.eq (Expr.Binop (Add, x, Expr.const ~width:8 1L))
+      (Expr.const ~width:8 10L) in
+  let s = Printer.smtlib_script [ c ] in
+  let v = Printer.cvc_script [ c ] in
+  Alcotest.(check bool) "smtlib mentions declare" true
+    (String.length s > 0
+     && String.sub s 0 10 = "(set-logic");
+  Alcotest.(check bool) "cvc mentions BITVECTOR" true
+    (String.length v > 0 && String.index_opt v 'B' <> None)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ blast_agrees_with_eval; simplify_sound ]
+
+let () =
+  Alcotest.run "smt"
+    [ ("sat",
+       [ Alcotest.test_case "basic" `Quick sat_basic;
+         Alcotest.test_case "unsat" `Quick sat_unsat;
+         Alcotest.test_case "pigeonhole" `Quick sat_pigeonhole;
+         Alcotest.test_case "random 3-sat models" `Quick sat_random_models ]);
+      ("blast", qcheck_tests);
+      ("solver",
+       [ Alcotest.test_case "simple eq" `Quick solve_simple_eq;
+         Alcotest.test_case "mul inverse" `Quick solve_mul_inverse;
+         Alcotest.test_case "unsat interval" `Quick solve_unsat;
+         Alcotest.test_case "div by zero semantics" `Quick
+           solve_sdiv_by_zero_semantics;
+         Alcotest.test_case "fp fallback" `Quick fp_needs_fallback;
+         Alcotest.test_case "fp rounding search" `Quick fp_rounding_search;
+         Alcotest.test_case "printers" `Quick printers_smoke ]) ]

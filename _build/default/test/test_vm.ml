@@ -1,0 +1,265 @@
+(** VM tests: CPU semantics, codec round-trips, kernel objects
+    (pipes, files, fork, threads, signals), and determinism. *)
+
+open Isa
+module Dsl = Asm.Ast.Dsl
+
+(* ---------------- codec round-trip (property) ---------------- *)
+
+let gen_reg = QCheck2.Gen.oneofl Reg.all
+let gen_xmm = QCheck2.Gen.oneofl Reg.all_xmm
+
+let gen_width = QCheck2.Gen.oneofl [ Insn.W8; W16; W32; W64 ]
+
+let gen_mem =
+  let open QCheck2.Gen in
+  let* base = opt gen_reg in
+  let* index = opt gen_reg in
+  let* scale = oneofl [ 1; 2; 4; 8 ] in
+  let* disp = map Int64.of_int (int_range (-4096) 4096) in
+  return { Insn.base; index; scale; disp }
+
+let gen_operand =
+  let open QCheck2.Gen in
+  oneof
+    [ map (fun r -> Insn.Reg r) gen_reg;
+      map (fun v -> Insn.Imm (Int64.of_int v)) int;
+      map (fun m -> Insn.Mem m) gen_mem ]
+
+let gen_insn =
+  let open QCheck2.Gen in
+  let reg_op = map (fun r -> Insn.Reg r) gen_reg in
+  oneof
+    [ (let* w = gen_width and* d = gen_operand and* s = gen_operand in
+       return (Insn.Mov (w, d, s)));
+      (let* op =
+         oneofl [ Insn.Add; Sub; And; Or; Xor; Shl; Shr; Sar; Imul ]
+       and* w = gen_width and* d = reg_op and* s = gen_operand in
+       return (Insn.Alu (op, w, d, s)));
+      (let* c = oneofl [ Insn.E; NE; L; LE; G; GE; B; BE; A; AE ]
+       and* a = map Int64.of_int (int_range 0 100000) in
+       return (Insn.Jcc (c, a)));
+      (let* m = gen_mem and* r = gen_reg in
+       return (Insn.Lea (r, m)));
+      (let* x = gen_xmm and* o = gen_operand in
+       return (Insn.Cvtsi2sd (x, o)));
+      (let* x = gen_xmm and* m = gen_mem in
+       return (Insn.Movsd (x, Xmem m)));
+      return Insn.Syscall;
+      return Insn.Ret;
+      (let* o = gen_operand in return (Insn.Push o)) ]
+
+let codec_roundtrip =
+  QCheck2.Test.make ~count:500 ~name:"codec round-trip" gen_insn (fun insn ->
+      let enc = Codec.encode insn in
+      let dec, consumed = Codec.decode enc 0 in
+      Insn.equal dec insn && consumed = String.length enc)
+
+(* ---------------- CPU semantics spot checks ---------------- *)
+
+let run_asm ?(argv = [ "t" ]) ?(config = Vm.Machine.default_config) items =
+  let prog = Asm.Ast.obj items in
+  let image = Libc.Runtime.link_with_libs prog in
+  Vm.Machine.run_image ~config:{ config with argv } image
+
+let exit_code res =
+  Option.value ~default:(-1) res.Vm.Machine.exit_code
+
+let flags_sub () =
+  (* 5 - 7 is negative: jl taken *)
+  let open Dsl in
+  let res =
+    run_asm
+      [ label "main";
+        mov rax (imm 5);
+        cmp rax (imm 7);
+        jl ".yes";
+        mov rax (imm 1);
+        ret;
+        label ".yes";
+        mov rax (imm 42);
+        ret ]
+  in
+  Alcotest.(check int) "jl taken" 42 (exit_code res)
+
+let unsigned_compare () =
+  (* 0xffffffffffffffff > 1 unsigned: ja taken *)
+  let open Dsl in
+  let res =
+    run_asm
+      [ label "main";
+        mov rax (imm (-1));
+        cmp rax (imm 1);
+        ja ".yes";
+        mov rax (imm 1);
+        ret;
+        label ".yes";
+        mov rax (imm 42);
+        ret ]
+  in
+  Alcotest.(check int) "ja taken" 42 (exit_code res)
+
+let partial_register_write () =
+  (* W32 write zeroes the top half; W8 write merges *)
+  let open Dsl in
+  let res =
+    run_asm
+      [ label "main";
+        mov rax (imm64 0x1122334455667788L);
+        mov ~w:Isa.Insn.W32 rax (imm 0x99);
+        cmp rax (imm 0x99);
+        jne ".bad";
+        mov rbx (imm64 0xff00L);
+        mov ~w:Isa.Insn.W8 rbx (imm 0x7);
+        mov rcx (imm64 0xff07L);
+        cmp rbx rcx;
+        jne ".bad";
+        mov rax (imm 42);
+        ret;
+        label ".bad";
+        mov rax (imm 1);
+        ret ]
+  in
+  Alcotest.(check int) "width merges" 42 (exit_code res)
+
+let idiv_semantics () =
+  let open Dsl in
+  let res =
+    run_asm
+      [ label "main";
+        mov rax (imm (-17));
+        mov rcx (imm 5);
+        idiv rcx;
+        (* C semantics: -17 / 5 = -3 rem -2 *)
+        cmp rax (imm (-3));
+        jne ".bad";
+        cmp rdx (imm (-2));
+        jne ".bad";
+        mov rax (imm 42);
+        ret;
+        label ".bad";
+        mov rax (imm 1);
+        ret ]
+  in
+  Alcotest.(check int) "idiv" 42 (exit_code res)
+
+let div_by_zero_faults () =
+  let open Dsl in
+  let res =
+    run_asm
+      [ label "main";
+        mov rax (imm 100);
+        xor rcx rcx;
+        idiv rcx;
+        mov rax (imm 0);
+        ret ]
+  in
+  Alcotest.(check bool) "faulted" true (res.fault <> None)
+
+let signal_handler_resumes () =
+  let open Dsl in
+  let res =
+    run_asm
+      [ label "main";
+        mov rdi (imm 8);
+        mov_lbl rsi ".handler";
+        call "signal";
+        mov rax (imm 100);
+        xor rcx rcx;
+        idiv rcx;                       (* faults; handler returns here *)
+        mov rax (imm 42);
+        ret;
+        label ".handler";
+        ret ]
+  in
+  Alcotest.(check int) "resumed after fault" 42 (exit_code res);
+  Alcotest.(check bool) "no machine fault" true (res.fault = None)
+
+(* ---------------- kernel objects ---------------- *)
+
+let pipe_roundtrip () =
+  let prog =
+    Asm.Ast.obj
+      ~data:[ Dsl.label "msg"; Dsl.asciz "hello" ]
+      ~bss:[ Dsl.label "pfds"; Dsl.space 8; Dsl.label "buf"; Dsl.space 8 ]
+      [ Dsl.label "main";
+        Dsl.lea Dsl.rdi "pfds";
+        Dsl.call "pipe";
+        Dsl.lea Dsl.rax "pfds";
+        Dsl.mov ~w:Isa.Insn.W32 Dsl.rdi (Dsl.mreg ~disp:4 Isa.Reg.RAX);
+        Dsl.lea Dsl.rsi "msg";
+        Dsl.mov Dsl.rdx (Dsl.imm 5);
+        Dsl.call "write";
+        Dsl.lea Dsl.rax "pfds";
+        Dsl.mov ~w:Isa.Insn.W32 Dsl.rdi (Dsl.mreg Isa.Reg.RAX);
+        Dsl.lea Dsl.rsi "buf";
+        Dsl.mov Dsl.rdx (Dsl.imm 5);
+        Dsl.call "read";
+        Dsl.mov Dsl.rdi (Dsl.imm 1);
+        Dsl.lea Dsl.rsi "buf";
+        Dsl.mov Dsl.rdx (Dsl.imm 5);
+        Dsl.call "write";
+        Dsl.mov Dsl.rax (Dsl.imm 0);
+        Dsl.ret ]
+  in
+  let image = Libc.Runtime.link_with_libs prog in
+  let r = Vm.Machine.run_image image in
+  Alcotest.(check string) "pipe carried the bytes" "hello" r.stdout
+
+let file_roundtrip () =
+  let bomb = Bombs.Catalog.find "file_bomb" in
+  let config = Bombs.Common.config_for bomb "mango" in
+  let r = Vm.Machine.run_image ~config (Bombs.Catalog.image bomb) in
+  Alcotest.(check bool) "file bomb works" true (Bombs.Common.triggered r)
+
+let fork_isolates_memory () =
+  let bomb = Bombs.Catalog.find "fork_bomb" in
+  (* child writes 3*33+1 = 100 into the pipe; parent must see it *)
+  let config = Bombs.Common.config_for bomb "33" in
+  let r = Vm.Machine.run_image ~config (Bombs.Catalog.image bomb) in
+  Alcotest.(check bool) "fork+pipe" true (Bombs.Common.triggered r)
+
+let threads_share_memory () =
+  let bomb = Bombs.Catalog.find "pthread_bomb" in
+  let config = Bombs.Common.config_for bomb "70" in
+  let r = Vm.Machine.run_image ~config (Bombs.Catalog.image bomb) in
+  Alcotest.(check bool) "pthread shared var" true (Bombs.Common.triggered r)
+
+let deterministic_runs () =
+  let bomb = Bombs.Catalog.find "srand_bomb" in
+  let config = Bombs.Common.config_for bomb "12345" in
+  let r1 = Vm.Machine.run_image ~config (Bombs.Catalog.image bomb) in
+  let r2 = Vm.Machine.run_image ~config (Bombs.Catalog.image bomb) in
+  Alcotest.(check string) "same stdout" r1.stdout r2.stdout;
+  Alcotest.(check int) "same steps" r1.steps r2.steps
+
+let fuel_limits () =
+  let open Dsl in
+  let prog =
+    Asm.Ast.obj [ label "main"; label ".spin"; jmp ".spin" ]
+  in
+  let image = Libc.Runtime.link_with_libs prog in
+  let config = { Vm.Machine.default_config with fuel = 10_000 } in
+  let r = Vm.Machine.run_image ~config image in
+  Alcotest.(check bool) "fuel exhausted" true r.fuel_exhausted
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ codec_roundtrip ]
+
+let () =
+  Alcotest.run "vm"
+    [ ("codec", qcheck_tests);
+      ("cpu",
+       [ Alcotest.test_case "signed flags" `Quick flags_sub;
+         Alcotest.test_case "unsigned flags" `Quick unsigned_compare;
+         Alcotest.test_case "partial register writes" `Quick
+           partial_register_write;
+         Alcotest.test_case "idiv" `Quick idiv_semantics;
+         Alcotest.test_case "div by zero faults" `Quick div_by_zero_faults;
+         Alcotest.test_case "signal handler" `Quick signal_handler_resumes ]);
+      ("kernel",
+       [ Alcotest.test_case "pipe round-trip" `Quick pipe_roundtrip;
+         Alcotest.test_case "file round-trip" `Quick file_roundtrip;
+         Alcotest.test_case "fork + pipe" `Quick fork_isolates_memory;
+         Alcotest.test_case "threads share memory" `Quick threads_share_memory;
+         Alcotest.test_case "determinism" `Quick deterministic_runs;
+         Alcotest.test_case "fuel" `Quick fuel_limits ]) ]
