@@ -42,6 +42,21 @@ let bench_cell_angr =
          ignore
            (Engines.Grade.run_cell Engines.Profile.Angr (bomb "array1_bomb"))))
 
+(* incremental-session ablation: the same cells solved one-shot *)
+let bench_cell_angr_oneshot =
+  Test.make ~name:"table2/cell_angr_array1_oneshot"
+    (Staged.stage (fun () ->
+         ignore
+           (Engines.Grade.run_cell ~incremental:false Engines.Profile.Angr
+              (bomb "array1_bomb"))))
+
+let bench_cell_triton_oneshot =
+  Test.make ~name:"table2/cell_triton_stack_oneshot"
+    (Staged.stage (fun () ->
+         ignore
+           (Engines.Grade.run_cell ~incremental:false Engines.Profile.Triton
+              (bomb "stack_bomb"))))
+
 (* Figure 3: taint analysis with and without printf *)
 let bench_fig3_noprint =
   let t = trace_of ~argv1:"7" (bomb "fig3_noprint") in
@@ -133,12 +148,87 @@ let bench_dse_no_libs =
 
 let benchmarks =
   [ bench_table1; bench_cell_bap; bench_cell_triton; bench_cell_angr;
+    bench_cell_angr_oneshot; bench_cell_triton_oneshot;
     bench_fig3_noprint; bench_fig3_print; bench_sizes; bench_negative;
     bench_mem_concrete; bench_mem_indexed; bench_solver_simplify;
     bench_solver_blast; bench_taint_sha1; bench_dse_with_libs;
     bench_dse_no_libs ]
 
+(* ---------------- machine-readable solver ablation ---------------- *)
+
+(* one timed run per (workload × mode), reading the engine's own
+   {!Smt.Stats} record off its outcome — the counters Bechamel's
+   aggregate timings can't see (cache hits, conflicts, blasted nodes) *)
+let solver_report () =
+  let dse_workload name bomb_name ~incremental =
+    let config =
+      { (Concolic.Dse.default_config Concolic.Dse.With_libs) with incremental }
+    in
+    let t0 = Unix.gettimeofday () in
+    let outcome =
+      Concolic.Dse.explore config (Bombs.Catalog.image (bomb bomb_name))
+    in
+    (name, incremental, Unix.gettimeofday () -. t0,
+     outcome.Concolic.Dse.solver_stats)
+  in
+  let driver_workload name bomb_name ~incremental =
+    let b = bomb bomb_name in
+    let config =
+      { (Concolic.Driver.default_config Concolic.Trace_exec.triton_like_config)
+        with incremental }
+    in
+    let target =
+      { Concolic.Driver.image = Bombs.Catalog.image b;
+        run_config =
+          (fun input -> Bombs.Common.config_for ~winning:false b input);
+        detonated = Bombs.Common.triggered }
+    in
+    let t0 = Unix.gettimeofday () in
+    let verdict = Concolic.Driver.explore ~seed:b.decoy config target in
+    (name, incremental, Unix.gettimeofday () -. t0,
+     verdict.Concolic.Driver.solver_stats)
+  in
+  let rows =
+    [ dse_workload "table2/cell_angr_array1" "array1_bomb" ~incremental:true;
+      dse_workload "table2/cell_angr_array1" "array1_bomb" ~incremental:false;
+      dse_workload "table2/cell_angr_stack" "stack_bomb" ~incremental:true;
+      dse_workload "table2/cell_angr_stack" "stack_bomb" ~incremental:false;
+      driver_workload "trace_exec/driver_jumptable" "jumptable_bomb"
+        ~incremental:true;
+      driver_workload "trace_exec/driver_jumptable" "jumptable_bomb"
+        ~incremental:false ]
+  in
+  let json =
+    "[\n"
+    ^ String.concat ",\n"
+      (List.map
+         (fun (name, incremental, wall, stats) ->
+            Printf.sprintf
+              "  {\"workload\": %S, \"incremental\": %b, \
+               \"workload_wall_s\": %.6f, %s}"
+              name incremental wall (Smt.Stats.to_json_fields stats))
+         rows)
+    ^ "\n]\n"
+  in
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\n%-36s %5s %12s %8s %6s %10s\n" "solver workload" "inc"
+    "solver time" "queries" "hits" "conflicts";
+  List.iter
+    (fun (name, incremental, _, (s : Smt.Stats.t)) ->
+       Printf.printf "%-36s %5b %9.3f ms %8d %6d %10d\n" name incremental
+         (s.wall_time *. 1e3) s.queries s.cache_hits s.conflicts)
+    rows;
+  print_endline "wrote BENCH_solver.json"
+
 let () =
+  (* `bench --solver-report` skips the Bechamel timing loop and only
+     regenerates BENCH_solver.json *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--solver-report" then begin
+    solver_report ();
+    exit 0
+  end;
   let cfg = Benchmark.cfg ~limit:6 ~quota:(Time.second 1.5) () in
   let instances = Instance.[ monotonic_clock ] in
   Printf.printf "%-36s %14s %10s\n" "benchmark" "time/run" "runs";
@@ -156,4 +246,5 @@ let () =
             Printf.printf "%-36s %11.3f ms %10.0f\n" name
               (time /. runs /. 1e6) runs)
          results)
-    benchmarks
+    benchmarks;
+  solver_report ()

@@ -21,6 +21,10 @@ type config = {
   max_blast_cost : int;
       (** skip solving when the predicted CNF is larger than this —
           the crypto-bomb blow-up *)
+  incremental : bool;
+      (** solve branch flips through one {!Smt.Session}: each flip
+          shares the path-predicate prefix of the previous one, so the
+          encoding and learnt clauses carry over *)
 }
 
 let default_config trace_cfg =
@@ -29,7 +33,8 @@ let default_config trace_cfg =
     max_iterations = 24;
     max_events = 400_000;
     solver = { Smt.Solver.default_config with conflict_budget = 20_000 };
-    max_blast_cost = 300_000 }
+    max_blast_cost = 300_000;
+    incremental = true }
 
 (** The system under test, abstracted from bombs so examples can reuse
     the driver. *)
@@ -47,6 +52,7 @@ type verdict = {
   solver_unknowns : int;
   fp_constraints : bool;
   constraints_seen : int;
+  solver_stats : Smt.Stats.t;
 }
 
 let dedup_diags diags =
@@ -85,6 +91,17 @@ let explore ?(seed = "5") (config : config) (target : target) : verdict =
     | Fixed_seed -> String.length seed
     | Wide n -> n
   in
+  let stats = Smt.Stats.create () in
+  let session =
+    if config.incremental then
+      Some (Smt.Session.create ~config:config.solver ~stats ())
+    else None
+  in
+  let solve cs =
+    match session with
+    | Some sess -> Smt.Session.check_assertions sess cs
+    | None -> Smt.Solver.solve ~config:config.solver ~stats cs
+  in
   let worklist = Queue.create () in
   Queue.add (pad_seed seed) worklist;
   let tried : (string, unit) Hashtbl.t = Hashtbl.create 32 in
@@ -115,7 +132,7 @@ let explore ?(seed = "5") (config : config) (target : target) : verdict =
          in
          if target.detonated trace.result then solved := Some input
          else begin
-           let path = Trace_exec.run config.trace_cfg trace in
+           let path = Trace_exec.run config.trace_cfg ?session trace in
            diags := path.diags @ !diags;
            let ordered = Array.of_list path.constraints in
            if
@@ -153,7 +170,7 @@ let explore ?(seed = "5") (config : config) (target : target) : verdict =
                   match
                     if cost > config.max_blast_cost then
                       Smt.Solver.Unknown Smt.Solver.Budget
-                    else Smt.Solver.solve ~config:config.solver cs
+                    else solve cs
                   with
                   | Smt.Solver.Sat model ->
                     let input' = input_of_model ~seed:input ~width model in
@@ -178,4 +195,5 @@ let explore ?(seed = "5") (config : config) (target : target) : verdict =
     diags = dedup_diags !diags;
     solver_unknowns = !unknowns;
     fp_constraints = !fp_seen;
-    constraints_seen = Hashtbl.length flipped }
+    constraints_seen = Hashtbl.length flipped;
+    solver_stats = stats }

@@ -37,6 +37,10 @@ type config = {
   max_constraint_nodes : int;
       (** refuse to bit-blast larger path predicates (crypto blow-up:
           the paper's "memory out") *)
+  incremental : bool;
+      (** run all feasibility and goal queries through one
+          {!Smt.Session}: forked states inherit the encoded prefix of
+          their parent, and repeated checks hit the query cache *)
 }
 
 let default_config mode =
@@ -48,7 +52,8 @@ let default_config mode =
     solver = { Smt.Solver.default_config with conflict_budget = 20_000 };
     feasibility_budget = 1_000;
     mem_window = 64;
-    max_constraint_nodes = 300_000 }
+    max_constraint_nodes = 300_000;
+    incremental = true }
 
 (* ------------------------------------------------------------------ *)
 (* SimOS                                                               *)
@@ -107,6 +112,7 @@ type outcome = {
   symbolic_branches : int;
       (** forks on input-dependent conditions — zero means the input
           never reached a condition (the Es0 signature) *)
+  solver_stats : Smt.Stats.t;
 }
 
 let clone_sstate s =
@@ -122,6 +128,8 @@ type t = {
   base_mem : Vm.Mem.t;           (** initial concrete memory (read-only) *)
   goal : int64;
   lib_funcs : (int64, string) Hashtbl.t;  (** lib function entry points *)
+  session : Smt.Session.t option;  (** shared by every explored state *)
+  stats : Smt.Stats.t;
   mutable total_steps : int;
   mutable spawned : int;
   mutable all_diags : Error.diag list;
@@ -129,6 +137,14 @@ type t = {
   mutable fp_seen : bool;
   mutable forks : int;
 }
+
+(* every solver query goes through here: the session when incremental,
+   a one-shot solve otherwise — same pipeline, same outcomes *)
+let solve t ?config:cfg cs =
+  let cfg = Option.value ~default:t.config.solver cfg in
+  match t.session with
+  | Some sess -> Smt.Session.check_assertions ~config:cfg sess cs
+  | None -> Smt.Solver.solve ~config:cfg ~stats:t.stats cs
 
 let fresh_var st os prefix width =
   os.fresh <- os.fresh + 1;
@@ -450,7 +466,7 @@ let feasible t (s : sstate) =
   else if s.st.State.built_cost > t.config.max_constraint_nodes then true
   else
     match
-      Smt.Solver.solve
+      solve t
         ~config:
           { t.config.solver with conflict_budget = t.config.feasibility_budget }
         cs
@@ -476,13 +492,22 @@ let explore ?goal_symbol:(goal = "bomb") (config : config)
          if sym.from_lib && sym.kind = Func && List.mem sym.name summarised
          then Hashtbl.replace lib_funcs sym.addr sym.name)
       image.symbols;
+  let stats = Smt.Stats.create () in
+  let session =
+    if config.incremental then
+      Some (Smt.Session.create ~config:config.solver ~stats ())
+    else None
+  in
   let t =
     { config; image; base_mem; goal = goal_addr; lib_funcs;
+      session; stats;
       total_steps = 0; spawned = 0; all_diags = []; unknowns = 0;
       fp_seen = false; forks = 0 }
   in
-  (* initial state *)
-  let s0 = { pc = image.entry; st = State.create (); os = simos_create () } in
+  (* initial state; forks clone it, so they share the session *)
+  let s0 =
+    { pc = image.entry; st = State.create ?session (); os = simos_create () }
+  in
   set_reg s0 RSP (E.Const (init_rsp, 64));
   let argv1_addr, _argv1_len = List.nth argv_layout 1 in
   State.symbolize_region s0.st ~prefix:"argv1" argv1_addr config.argv_width;
@@ -523,12 +548,12 @@ let explore ?goal_symbol:(goal = "bomb") (config : config)
            (match
               if too_large then Smt.Solver.Unknown Smt.Solver.Budget
               else
-                match Smt.Solver.solve ~config:config.solver cs with
+                match solve t cs with
                 | Smt.Solver.Unknown Smt.Solver.Fp_unsupported
                   when has_unconstrained_external ->
                   (* angr-style aggression: FP terms over summarised
                      externals are treated as freely assignable *)
-                  Smt.Solver.solve
+                  solve t
                     ~config:
                       { config.solver with
                         enable_fp_search = true;
@@ -670,4 +695,5 @@ let explore ?goal_symbol:(goal = "bomb") (config : config)
     budget_exhausted = !budget_hit;
     solver_unknowns = t.unknowns;
     fp_seen = t.fp_seen;
-    symbolic_branches = t.forks }
+    symbolic_branches = t.forks;
+    solver_stats = t.stats }

@@ -26,6 +26,10 @@ type t = {
           cost, maintained incrementally so guards are O(1) *)
   load_depths : int Phys.t;
       (** symbolic-load nesting depth of load-result expressions *)
+  mutable session : Smt.Session.t option;
+      (** solver session constraints are interned into as they are
+          recorded; clones share it, so a forked state's path-predicate
+          prefix is already encoded when the engine checks the fork *)
 }
 
 and info = {
@@ -37,14 +41,15 @@ and info = {
 
 and kind = Branch | Fault_guard | Address_bound | Assumption of string
 
-let create () =
+let create ?session () =
   { env = Hashtbl.create 64;
     shadow = Hashtbl.create 256;
     constraints = [];
     diags = [];
     load_depth = 0;
     built_cost = 0;
-    load_depths = Phys.create 64 }
+    load_depths = Phys.create 64;
+    session }
 
 let clone t =
   { env = Hashtbl.copy t.env;
@@ -53,14 +58,27 @@ let clone t =
     diags = t.diags;
     load_depth = t.load_depth;
     built_cost = t.built_cost;
-    load_depths = Phys.copy t.load_depths }
+    load_depths = Phys.copy t.load_depths;
+    session = t.session }
+
+let attach_session t session = t.session <- Some session
 
 let diag t d = t.diags <- d :: t.diags
+
+(* don't intern constraints past the engines' blow-up guards
+   (Profile.max_blast_cost / Dse.max_constraint_nodes): such predicates
+   are never solved, and crypto-sized DAGs are too deep to walk *)
+let intern_cost_cap = 300_000
 
 let add_constraint t ?(kind = Branch) ~pc ~taken e =
   match e with
   | E.Const (1L, 1) -> ()   (* concretely true: no information *)
   | _ ->
+    let e =
+      match t.session with
+      | Some s when t.built_cost <= intern_cost_cap -> Smt.Session.intern s e
+      | _ -> e
+    in
     t.constraints <-
       (e, { pc; taken; kind; cost = t.built_cost }) :: t.constraints
 

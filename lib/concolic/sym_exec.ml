@@ -56,7 +56,12 @@ type ctx = {
   hooks : hooks;
 }
 
-let make_ctx state hooks = { state; hooks }
+(** [session], when given, is attached to [state] so every constraint
+    the executor records (branches, address bounds, fault guards) is
+    interned into the solver session as it is built. *)
+let make_ctx ?session state hooks =
+  (match session with Some s -> State.attach_session state s | None -> ());
+  { state; hooks }
 
 let sym_load ctx addr_e n =
   let st = ctx.state and h = ctx.hooks in

@@ -77,8 +77,8 @@ let argv1_source ?(include_nul = false) (trace : Trace.t) =
     s_len = (if include_nul then len else len - 1);
     s_prefix = "argv1" }
 
-let run (config : config) ?(sources : source list option) (trace : Trace.t) :
-  path =
+let run (config : config) ?session ?(sources : source list option)
+    (trace : Trace.t) : path =
   let sources =
     match sources with Some s -> s | None -> [ argv1_source trace ]
   in
@@ -88,7 +88,7 @@ let run (config : config) ?(sources : source list option) (trace : Trace.t) :
   in
   let scratch = Vm.Cpu.create () in
   (* --- symbolic state --- *)
-  let st = State.create () in
+  let st = State.create ?session () in
   let input_env : Smt.Eval.env = Hashtbl.create 32 in
   List.iter
     (fun { s_addr; s_len; s_prefix } ->

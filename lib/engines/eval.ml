@@ -18,19 +18,19 @@ type table2_result = {
   agreement : int * int;  (** matching cells, total cells with expectations *)
 }
 
-let run_cell tool (bomb : Bombs.Common.t) : cell_result =
-  let graded = Grade.run_cell tool bomb in
+let run_cell ?incremental tool (bomb : Bombs.Common.t) : cell_result =
+  let graded = Grade.run_cell ?incremental tool bomb in
   { tool;
     bomb = bomb.name;
     measured = graded.cell;
     expected = Paper.expected bomb.name tool;
     graded }
 
-let run_table2 ?(tools = Profile.all) ?(bombs = Bombs.Catalog.table2) () :
-  table2_result =
+let run_table2 ?incremental ?(tools = Profile.all)
+    ?(bombs = Bombs.Catalog.table2) () : table2_result =
   let cells =
     List.concat_map
-      (fun bomb -> List.map (fun tool -> run_cell tool bomb) tools)
+      (fun bomb -> List.map (fun tool -> run_cell ?incremental tool bomb) tools)
       bombs
   in
   let solved =

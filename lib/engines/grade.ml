@@ -100,8 +100,11 @@ let grade (bomb : Bombs.Common.t) (a : Profile.attempt) : graded =
         proposed = None; detonated = false; false_positive = false;
         diags = a.diags; work = a.work }
 
-(** Run one tool on one bomb, end to end. *)
-let run_cell (tool : Profile.tool) (bomb : Bombs.Common.t) : graded =
+(** Run one tool on one bomb, end to end.  [incremental] selects
+    between session-based and one-shot solving in the engine; the
+    derived cell must not depend on it. *)
+let run_cell ?incremental (tool : Profile.tool) (bomb : Bombs.Common.t) :
+  graded =
   let image = Bombs.Catalog.image bomb in
   let run_config input =
     Bombs.Common.config_for ~winning:false bomb input
@@ -112,11 +115,13 @@ let run_cell (tool : Profile.tool) (bomb : Bombs.Common.t) : graded =
     | Profile.Bap ->
       (* driven from the triggering input (the paper's methodology) *)
       let seed = Bombs.Common.winning_argv bomb in
-      Profile.run_bap ~image ~run_config ~seed
+      Profile.run_bap ?incremental ~image ~run_config ~seed ()
     | Profile.Triton ->
-      Profile.run_triton ~image ~run_config ~detonated ~seed:bomb.decoy
-    | Profile.Angr -> Profile.run_angr ~mode:Concolic.Dse.With_libs ~image
+      Profile.run_triton ?incremental ~image ~run_config ~detonated
+        ~seed:bomb.decoy ()
+    | Profile.Angr ->
+      Profile.run_angr ?incremental ~mode:Concolic.Dse.With_libs ~image ()
     | Profile.Angr_nolib ->
-      Profile.run_angr ~mode:Concolic.Dse.No_libs ~image
+      Profile.run_angr ?incremental ~mode:Concolic.Dse.No_libs ~image ()
   in
   grade bomb attempt

@@ -66,12 +66,21 @@ let input_of_model ~width (model : Smt.Solver.model) =
   | Some i -> String.sub s 0 i
   | None -> s
 
-let run_bap ~(image : Asm.Image.t)
-    ~(run_config : string -> Vm.Machine.config) ~(seed : string) : attempt =
+let run_bap ?(incremental = true) ~(image : Asm.Image.t)
+    ~(run_config : string -> Vm.Machine.config) ~(seed : string) () : attempt =
+  (* one trace, one query: the session buys no cross-query reuse here,
+     but attaching it lets replay intern constraints as they are
+     recorded, so the final solve starts with warm memo tables *)
+  let session =
+    if incremental then Some (Smt.Session.create ~config:solver_config ())
+    else None
+  in
   let trace =
     Trace.record ~max_events:400_000 ~config:(run_config seed) image
   in
-  let path = Concolic.Trace_exec.run Concolic.Trace_exec.bap_like_config trace in
+  let path =
+    Concolic.Trace_exec.run Concolic.Trace_exec.bap_like_config ?session trace
+  in
   let cs = List.map fst path.constraints in
   let fp = List.exists Smt.Expr.contains_fp cs in
   let symbolic_branches = List.length path.branches in
@@ -86,7 +95,11 @@ let run_bap ~(image : Asm.Image.t)
       work = trace.result.steps }
   else
     let proposed, extra =
-      match Smt.Solver.solve ~config:solver_config cs with
+      match
+        (match session with
+         | Some sess -> Smt.Session.check_assertions sess cs
+         | None -> Smt.Solver.solve ~config:solver_config cs)
+      with
       | Smt.Solver.Sat model ->
         (Some (input_of_model ~width:(String.length seed) model), [])
       | Smt.Solver.Unsat -> (None, [])
@@ -108,12 +121,12 @@ let run_bap ~(image : Asm.Image.t)
 (* Triton-like: concolic exploration from a neutral seed              *)
 (* ------------------------------------------------------------------ *)
 
-let run_triton ~(image : Asm.Image.t)
+let run_triton ?(incremental = true) ~(image : Asm.Image.t)
     ~(run_config : string -> Vm.Machine.config)
-    ~(detonated : Vm.Machine.run_result -> bool) ~(seed : string) : attempt =
+    ~(detonated : Vm.Machine.run_result -> bool) ~(seed : string) () : attempt =
   let config =
     { (Concolic.Driver.default_config Concolic.Trace_exec.triton_like_config)
-      with solver = solver_config }
+      with solver = solver_config; incremental }
   in
   let target =
     { Concolic.Driver.image; run_config; detonated }
@@ -132,8 +145,9 @@ let run_triton ~(image : Asm.Image.t)
 (* Angr-like: directed DSE                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_angr ~(mode : Concolic.Dse.mode) ~(image : Asm.Image.t) : attempt =
-  let config = Concolic.Dse.default_config mode in
+let run_angr ?(incremental = true) ~(mode : Concolic.Dse.mode)
+    ~(image : Asm.Image.t) () : attempt =
+  let config = { (Concolic.Dse.default_config mode) with incremental } in
   match Concolic.Dse.explore config image with
   | outcome ->
     let proposed =

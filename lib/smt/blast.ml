@@ -277,7 +277,23 @@ let assert_true t e =
   let v = bits t e in
   Sat.add_clause t.sat [ v.(0) ]
 
-let solve ?conflict_budget t = Sat.solve ?conflict_budget t.sat
+(** Encode a 1-bit term and return its literal *without* asserting it.
+    Incremental sessions pass these literals as assumptions so an
+    assertion can be popped while its CNF encoding (and any clauses
+    learnt from it) stay behind for reuse. *)
+let lit_of t e = (bits t e).(0)
+
+(** Clear any assignment left by a previous [solve] — required before
+    encoding new terms into a solver that answered Sat. *)
+let reset t = Sat.reset_to_root t.sat
+
+(** Distinct term nodes encoded so far (the per-session memo size). *)
+let num_nodes t = Phys.length t.cache
+
+let num_conflicts t = Sat.num_conflicts t.sat
+
+let solve ?conflict_budget ?assumptions t =
+  Sat.solve ?conflict_budget ?assumptions t.sat
 
 (** Extract the model for the named variables after [Sat] answered. *)
 let model t : (string * int64) list =

@@ -128,6 +128,46 @@ let vars e =
   go [ e ];
   List.rev !acc
 
+(** Free variables of a constraint list, de-duplicated across the whole
+    list in one DAG-aware pass (first-occurrence order).  This is the
+    single var-collection used by {!Solver.all_vars}, the FP search and
+    {!Session} — previously each re-deduplicated with its own table. *)
+let vars_of_list es =
+  let names = Hashtbl.create 16 in
+  let acc = ref [] in
+  let seen : (int, t list) Hashtbl.t = Hashtbl.create 256 in
+  let visited e =
+    let key = Hashtbl.hash_param 2 4 e in
+    let bucket = Option.value ~default:[] (Hashtbl.find_opt seen key) in
+    if List.memq e bucket then true
+    else begin
+      Hashtbl.replace seen key (e :: bucket);
+      false
+    end
+  in
+  let rec go stack =
+    match stack with
+    | [] -> ()
+    | e :: rest ->
+      if visited e then go rest
+      else
+        match e with
+        | Var v ->
+          if not (Hashtbl.mem names v.vname) then begin
+            Hashtbl.replace names v.vname ();
+            acc := v :: !acc
+          end;
+          go rest
+        | Const _ -> go rest
+        | Unop (_, a) | Extract (_, _, a) | Zext (_, a) | Sext (_, a)
+        | Fsqrt a | Fof_int a | Fto_int a -> go (a :: rest)
+        | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b)
+        | Fbin (_, a, b) | Fcmp (_, a, b) -> go (a :: b :: rest)
+        | Ite (c, a, b) -> go (c :: a :: b :: rest)
+  in
+  List.iter (fun e -> go [ e ]) es;
+  List.rev !acc
+
 (** Number of distinct nodes (DAG size, by physical identity). *)
 let dag_size e =
   let module H = Hashtbl in

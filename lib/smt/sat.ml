@@ -332,6 +332,12 @@ let rec pick_branch t =
 (* simpler restart schedule: geometric *)
 let restart_interval n = int_of_float (100.0 *. (1.5 ** float_of_int n))
 
+(** Undo every assignment above the root level.  Incremental sessions
+    call this before adding clauses between [solve] calls: [add_clause]
+    treats level-0 assignments as facts, so a stale model left by a
+    previous SAT answer must not leak into clause simplification. *)
+let reset_to_root t = cancel_until t 0
+
 let solve ?(conflict_budget = max_int) ?(assumptions = []) t : result =
   if not t.ok then Unsat
   else begin
@@ -339,7 +345,10 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) t : result =
     let result = ref Unknown in
     let restarts = ref 0 in
     let conflicts_here = ref 0 in
-    let budget_left () = t.conflicts < conflict_budget in
+    (* budget is per-call: [t.conflicts] accumulates over the solver's
+       lifetime so an incremental session would otherwise starve *)
+    let start_conflicts = t.conflicts in
+    let budget_left () = t.conflicts - start_conflicts < conflict_budget in
     (try
        (* assume the assumption literals at successive levels *)
        while !result = Unknown do

@@ -1,0 +1,130 @@
+(** Search-based fallback for constraints containing floating-point
+    terms: seeded trials, interesting values, then hill climbing over
+    IEEE-754 doubles.  Hoisted out of {!Solver} so both the one-shot
+    front-end and {!Session} share one implementation.
+
+    The fallback is an *extension* relative to the paper's tools
+    (which simply fail on FP, the Es3 rows): engines keep it disabled
+    to reproduce Table II. *)
+
+(* soft score of one constraint: 1.0 when satisfied, else a value in
+   (0, 1) that grows as the two compared sides approach each other *)
+let soft_score env (c : Expr.t) =
+  if Eval.holds env c then 1.0
+  else
+    let dist_of a b as_float =
+      let va = Eval.eval env a and vb = Eval.eval env b in
+      if as_float then
+        let fa = Int64.float_of_bits va and fb = Int64.float_of_bits vb in
+        if Float.is_nan fa || Float.is_nan fb then 1e30
+        else Float.abs (fa -. fb)
+      else Int64.to_float (Int64.abs (Int64.sub va vb))
+    in
+    match c with
+    | Expr.Cmp (_, a, b) -> 0.5 /. (1.0 +. dist_of a b false)
+    | Expr.Fcmp (_, a, b) -> 0.5 /. (1.0 +. dist_of a b true)
+    | Expr.Unop (Not, Expr.Cmp (_, a, b)) -> 0.5 /. (1.0 +. 1.0 /. (1e-9 +. dist_of a b false))
+    | _ -> 0.0
+
+let score env constraints =
+  List.fold_left (fun acc c -> acc +. soft_score env c) 0.0 constraints
+
+(* deterministic xorshift for reproducible search *)
+let rng_state = ref 0x2545F4914F6CDD1DL
+
+let rand_bits () =
+  let x = !rng_state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  rng_state := x;
+  x
+
+let rand_int n = Int64.to_int (Int64.unsigned_rem (rand_bits ()) (Int64.of_int n))
+
+let interesting_bytes =
+  [ 0L; 1L; 2L; 7L; 9L; 10L; 0x30L; 0x31L; 0x32L; 0x33L; 0x34L; 0x35L;
+    0x36L; 0x37L; 0x38L; 0x39L; 0x41L; 0x61L; 0x7fL; 0xffL ]
+
+let interesting_wide =
+  [ 0L; 1L; -1L; 2L; 0x32L; 0x64L; 1024L; 0x7fffffffL; 0x80000000L;
+    Int64.min_int; Int64.max_int;
+    Int64.bits_of_float 0.0; Int64.bits_of_float 1.0;
+    Int64.bits_of_float 1e-14; Int64.bits_of_float (-1.0) ]
+
+let candidates_for (v : Expr.var) =
+  if v.width <= 8 then interesting_bytes else interesting_wide
+
+let fp_search ~iters ~seeds constraints : (string * int64) list option =
+  rng_state := 0x2545F4914F6CDD1DL;
+  let vars = Expr.vars_of_list constraints in
+  if vars = [] then None
+  else begin
+    let env : Eval.env = Hashtbl.create 16 in
+    List.iter (fun (v : Expr.var) -> Hashtbl.replace env v.vname 0L) vars;
+    let load (seed : Eval.env) =
+      List.iter
+        (fun (v : Expr.var) ->
+           Hashtbl.replace env v.vname
+             (match Hashtbl.find_opt seed v.vname with
+              | Some x -> x
+              | None -> 0L))
+        vars
+    in
+    let solved () = List.for_all (Eval.holds env) constraints in
+    let snapshot () =
+      List.map (fun (v : Expr.var) -> (v.vname, Hashtbl.find env v.vname)) vars
+    in
+    let result = ref None in
+    (* 1. caller-provided seeds *)
+    List.iter
+      (fun seed ->
+         if !result = None then begin
+           load seed;
+           if solved () then result := Some (snapshot ())
+         end)
+      seeds;
+    (* 2. per-variable interesting values (one var at a time) *)
+    if !result = None then begin
+      List.iter (fun (v : Expr.var) -> Hashtbl.replace env v.vname 0L) vars;
+      List.iter
+        (fun (v : Expr.var) ->
+           if !result = None then
+             List.iter
+               (fun cand ->
+                  if !result = None then begin
+                    Hashtbl.replace env v.vname cand;
+                    if solved () then result := Some (snapshot ())
+                  end)
+               (candidates_for v))
+        vars
+    end;
+    (* 3. hill climbing with random mutations *)
+    if !result = None then begin
+      let nv = List.length vars in
+      let var_arr = Array.of_list vars in
+      let best = ref (score env constraints) in
+      let iter = ref 0 in
+      while !result = None && !iter < iters do
+        incr iter;
+        let v = var_arr.(rand_int nv) in
+        let old = Hashtbl.find env v.vname in
+        let cands = candidates_for v in
+        let mutated =
+          match rand_int 4 with
+          | 0 -> List.nth cands (rand_int (List.length cands))
+          | 1 -> Int64.logxor old (Int64.shift_left 1L (rand_int (max 1 v.width)))
+          | 2 -> Int64.add old 1L
+          | _ -> Int64.sub old 1L
+        in
+        Hashtbl.replace env v.vname (Int64.logand mutated (Expr.mask v.width));
+        if solved () then result := Some (snapshot ())
+        else begin
+          let s = score env constraints in
+          if s >= !best then best := s
+          else Hashtbl.replace env v.vname old (* revert *)
+        end
+      done
+    end;
+    !result
+  end

@@ -17,8 +17,18 @@ let const_value = function
   | Expr.Const (v, _) -> v
   | _ -> invalid_arg "const_value"
 
-let run (e : Expr.t) : Expr.t =
-  let cache : Expr.t Phys.t = Phys.create 256 in
+(** Rewrite memo, keyed on physical identity.  A fresh one is made per
+    [run] call unless the caller supplies a persistent one — sessions
+    do, so re-simplifying a path-predicate prefix is a table lookup per
+    node instead of a re-walk of the whole predicate. *)
+type cache = Expr.t Phys.t
+
+let create_cache () : cache = Phys.create 1024
+
+let run ?cache (e : Expr.t) : Expr.t =
+  let cache : Expr.t Phys.t =
+    match cache with Some c -> c | None -> Phys.create 256
+  in
   let rec go e =
     let key = Obj.repr e in
     match Phys.find_opt cache key with

@@ -1,0 +1,64 @@
+(** Solver-side counters, accumulated per {!Session} (or shared across
+    many one-shot sessions when the caller passes one accumulator in).
+    Every engine surfaces these on its outcome so the cost of solving
+    is measured, not guessed. *)
+
+type t = {
+  mutable queries : int;        (** [check] calls, including cache hits *)
+  mutable cache_hits : int;     (** answered from the session query cache *)
+  mutable sat : int;
+  mutable unsat : int;
+  mutable unknown : int;
+  mutable blasted_nodes : int;  (** term nodes newly encoded to CNF *)
+  mutable conflicts : int;      (** CDCL conflicts spent in [check] *)
+  mutable wall_time : float;    (** seconds spent inside [check] *)
+}
+
+let create () =
+  { queries = 0;
+    cache_hits = 0;
+    sat = 0;
+    unsat = 0;
+    unknown = 0;
+    blasted_nodes = 0;
+    conflicts = 0;
+    wall_time = 0.0 }
+
+(** Independent copy (for snapshots of a live accumulator). *)
+let copy s =
+  { queries = s.queries;
+    cache_hits = s.cache_hits;
+    sat = s.sat;
+    unsat = s.unsat;
+    unknown = s.unknown;
+    blasted_nodes = s.blasted_nodes;
+    conflicts = s.conflicts;
+    wall_time = s.wall_time }
+
+(** Add [src] into [dst] (merging per-engine accumulators). *)
+let add ~into:dst src =
+  dst.queries <- dst.queries + src.queries;
+  dst.cache_hits <- dst.cache_hits + src.cache_hits;
+  dst.sat <- dst.sat + src.sat;
+  dst.unsat <- dst.unsat + src.unsat;
+  dst.unknown <- dst.unknown + src.unknown;
+  dst.blasted_nodes <- dst.blasted_nodes + src.blasted_nodes;
+  dst.conflicts <- dst.conflicts + src.conflicts;
+  dst.wall_time <- dst.wall_time +. src.wall_time
+
+let to_string s =
+  Printf.sprintf
+    "queries=%d hits=%d sat=%d unsat=%d unknown=%d blasted=%d conflicts=%d \
+     wall=%.4fs"
+    s.queries s.cache_hits s.sat s.unsat s.unknown s.blasted_nodes s.conflicts
+    s.wall_time
+
+(** The fields as JSON object members (no enclosing braces), for the
+    bench harness's machine-readable output. *)
+let to_json_fields s =
+  Printf.sprintf
+    "\"queries\": %d, \"cache_hits\": %d, \"sat\": %d, \"unsat\": %d, \
+     \"unknown\": %d, \"blasted_nodes\": %d, \"conflicts\": %d, \
+     \"solver_wall_s\": %.6f"
+    s.queries s.cache_hits s.sat s.unsat s.unknown s.blasted_nodes s.conflicts
+    s.wall_time

@@ -212,6 +212,117 @@ let fp_rounding_search () =
     Alcotest.(check bool) "absorbed" true (1024.0 +. v = 1024.0)
   | o -> Alcotest.failf "expected sat, got %s" (Solver.outcome_to_string o)
 
+(* ---------------- sessions ---------------- *)
+
+let session_push_pop () =
+  let x = Expr.var ~width:8 "x" in
+  let s = Session.create () in
+  Session.assert_ s (Expr.Cmp (Ult, x, Expr.const ~width:8 5L));
+  Session.push s;
+  Session.assert_ s (Expr.Cmp (Ult, Expr.const ~width:8 10L, x));
+  (match Session.check s with
+   | Session.Unsat -> ()
+   | o -> Alcotest.failf "expected unsat, got %s" (Solver.outcome_to_string o));
+  Session.pop s;
+  match Session.check s with
+  | Session.Sat m ->
+    let v = List.assoc "x" m in
+    Alcotest.(check bool) "x < 5" true (Int64.unsigned_compare v 5L < 0)
+  | o ->
+    Alcotest.failf "expected sat after pop, got %s" (Solver.outcome_to_string o)
+
+(* the session pipeline must agree with the one-shot front-end, and the
+   second round of identical queries must come from the query cache *)
+let session_matches_oneshot_and_caches () =
+  let x8 = Expr.var ~width:8 "x" in
+  let y16 = Expr.var ~width:16 "y" in
+  let sets =
+    [ [ Expr.eq
+          (Expr.Binop (Add, x8, Expr.const ~width:8 5L))
+          (Expr.const ~width:8 42L) ];
+      [ Expr.eq
+          (Expr.Binop (Mul, Expr.const ~width:16 3L, y16))
+          (Expr.const ~width:16 51L) ];
+      [ Expr.Cmp (Ult, x8, Expr.const ~width:8 5L);
+        Expr.Cmp (Ult, Expr.const ~width:8 10L, x8) ];
+      [ Expr.Cmp (Ule, x8, Expr.const ~width:8 200L) ] ]
+  in
+  let s = Session.create () in
+  let status = function
+    | Session.Sat _ -> "sat"
+    | Session.Unsat -> "unsat"
+    | Session.Unknown _ -> "unknown"
+  in
+  let check_one cs =
+    let one = Solver.solve cs in
+    let inc = Session.check_assertions s cs in
+    Alcotest.(check string) "status matches one-shot" (status one) (status inc);
+    match inc with
+    | Session.Sat m ->
+      let env = Eval.env_of_list m in
+      List.iter
+        (fun c ->
+           Alcotest.(check bool) "session model holds" true (Eval.holds env c))
+        cs
+    | _ -> ()
+  in
+  List.iter check_one sets;
+  List.iter check_one sets;
+  let st = Session.stats s in
+  Alcotest.(check int) "queries" 8 st.Stats.queries;
+  Alcotest.(check int) "second round served from cache" 4 st.Stats.cache_hits
+
+let session_fp_fallback () =
+  let x = Expr.var ~width:64 "x" in
+  let c =
+    Expr.Fcmp (Feq, Expr.Fof_int x, Expr.const (Int64.bits_of_float 7.0))
+  in
+  let s = Session.create () in
+  (match Session.check_assertions s [ c ] with
+   | Session.Unknown Session.Fp_unsupported -> ()
+   | o ->
+     Alcotest.failf "expected fp-unsupported, got %s"
+       (Solver.outcome_to_string o));
+  let config = { Session.default_config with enable_fp_search = true } in
+  let s2 = Session.create ~config () in
+  match Session.check_assertions s2 [ c ] with
+  | Session.Sat m -> Alcotest.(check int64) "x=7" 7L (List.assoc "x" m)
+  | o ->
+    Alcotest.failf "expected sat via search, got %s"
+      (Solver.outcome_to_string o)
+
+(* a starved budget yields Unknown, which must NOT be cached: the same
+   assertion set re-checked with the session's full budget decides *)
+let session_budget_unknown () =
+  (* expression-level pigeonhole (3 values in {0,1}, pairwise
+     distinct): unsat, but only via conflict analysis, so a zero
+     conflict budget must give up *)
+  let p = Array.init 3 (fun i -> Expr.var ~width:2 (Printf.sprintf "p%d" i)) in
+  let two = Expr.const ~width:2 2L in
+  let ne a b = Expr.not_ (Expr.eq a b) in
+  let cs =
+    [ Expr.Cmp (Ult, p.(0), two); Expr.Cmp (Ult, p.(1), two);
+      Expr.Cmp (Ult, p.(2), two); ne p.(0) p.(1); ne p.(0) p.(2);
+      ne p.(1) p.(2) ]
+  in
+  let s = Session.create () in
+  (match
+     Session.check_assertions
+       ~config:{ Session.default_config with conflict_budget = 0 }
+       s cs
+   with
+   | Session.Unknown Session.Budget -> ()
+   | o ->
+     Alcotest.failf "expected budget unknown, got %s"
+       (Solver.outcome_to_string o));
+  (match Session.check s with
+   | Session.Unsat -> ()
+   | o ->
+     Alcotest.failf "expected unsat with full budget, got %s"
+       (Solver.outcome_to_string o));
+  let st = Session.stats s in
+  Alcotest.(check int) "no cache hit for unknown" 0 st.Stats.cache_hits
+
 let printers_smoke () =
   let x = Expr.var ~width:8 "x" in
   let c = Expr.eq (Expr.Binop (Add, x, Expr.const ~width:8 1L))
@@ -243,4 +354,11 @@ let () =
            solve_sdiv_by_zero_semantics;
          Alcotest.test_case "fp fallback" `Quick fp_needs_fallback;
          Alcotest.test_case "fp rounding search" `Quick fp_rounding_search;
-         Alcotest.test_case "printers" `Quick printers_smoke ]) ]
+         Alcotest.test_case "printers" `Quick printers_smoke ]);
+      ("session",
+       [ Alcotest.test_case "push/pop" `Quick session_push_pop;
+         Alcotest.test_case "matches one-shot + caches" `Quick
+           session_matches_oneshot_and_caches;
+         Alcotest.test_case "fp fallback" `Quick session_fp_fallback;
+         Alcotest.test_case "budget unknown not cached" `Quick
+           session_budget_unknown ]) ]
