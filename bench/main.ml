@@ -146,13 +146,25 @@ let bench_dse_no_libs =
          ignore
            (Concolic.Dse.explore config (Bombs.Catalog.image (bomb "sin_bomb")))))
 
+(* differential-fuzzing throughput: cases/sec per oracle family, so a
+   generator or oracle slowdown shows up next to the solver ablations *)
+let bench_fuzz_blast =
+  Test.make ~name:"fuzz/blast_20_cases"
+    (Staged.stage (fun () ->
+         ignore (Difftest.Harness.run ~seed:11 ~budget:20 "blast")))
+
+let bench_fuzz_vmir =
+  Test.make ~name:"fuzz/vmir_20_cases"
+    (Staged.stage (fun () ->
+         ignore (Difftest.Harness.run ~seed:11 ~budget:20 "vmir")))
+
 let benchmarks =
   [ bench_table1; bench_cell_bap; bench_cell_triton; bench_cell_angr;
     bench_cell_angr_oneshot; bench_cell_triton_oneshot;
     bench_fig3_noprint; bench_fig3_print; bench_sizes; bench_negative;
     bench_mem_concrete; bench_mem_indexed; bench_solver_simplify;
     bench_solver_blast; bench_taint_sha1; bench_dse_with_libs;
-    bench_dse_no_libs ]
+    bench_dse_no_libs; bench_fuzz_blast; bench_fuzz_vmir ]
 
 (* ---------------- machine-readable solver ablation ---------------- *)
 

@@ -1,0 +1,118 @@
+(** Differential-fuzzing CLI.
+
+    Long-budget counterpart of the [@fuzz-smoke] test alias:
+
+    - [fuzz run]     — fuzz one or all oracles with a seed and budget,
+                       printing shrunk counterexamples; optionally
+                       save failures as corpus entries;
+    - [fuzz replay]  — re-run every [*.case] entry in a corpus dir;
+    - [fuzz mutant]  — sanity-check that the blast-vs-eval oracle
+                       catches an intentionally broken simplifier
+                       (exit 0 iff it does). *)
+
+let spf = Printf.sprintf
+
+let oracles_of = function
+  | "all" -> Difftest.Harness.oracle_names
+  | o when List.mem o Difftest.Harness.oracle_names -> [ o ]
+  | o ->
+    prerr_endline
+      (spf "unknown oracle %S (expected all|%s)" o
+         (String.concat "|" Difftest.Harness.oracle_names));
+    exit 2
+
+let run_fuzz oracle seed budget corpus_dir =
+  let seed = Difftest.Harness.seed_from_env seed in
+  let budget = Difftest.Harness.budget_from_env budget in
+  let total_failures = ref 0 in
+  List.iter
+    (fun name ->
+       let r = Difftest.Harness.run ~seed ~budget name in
+       Fmt.pr "%a@." Difftest.Harness.pp_report r;
+       total_failures := !total_failures + List.length r.failures;
+       match corpus_dir with
+       | None -> ()
+       | Some dir ->
+         List.iter
+           (fun f ->
+              let path = Difftest.Corpus.(save dir (of_failure f)) in
+              Fmt.pr "saved %s@." path)
+           r.failures)
+    (oracles_of oracle);
+  if !total_failures > 0 then exit 1
+
+let run_replay dir =
+  let entries = Difftest.Corpus.load_dir dir in
+  if entries = [] then begin
+    Fmt.pr "no corpus entries under %s@." dir;
+    exit 2
+  end;
+  let bad = ref 0 in
+  List.iter
+    (fun entry ->
+       match entry with
+       | Error e ->
+         incr bad;
+         Fmt.pr "PARSE FAIL %s@." e
+       | Ok (e : Difftest.Corpus.entry) -> (
+           match Difftest.Corpus.replay e with
+           | Ok () -> Fmt.pr "ok   %s@." (Difftest.Corpus.filename e)
+           | Error msg ->
+             incr bad;
+             Fmt.pr "FAIL %s: %s@." (Difftest.Corpus.filename e) msg))
+    entries;
+  if !bad > 0 then exit 1
+
+let run_mutant seed budget =
+  let seed = Difftest.Harness.seed_from_env seed in
+  let budget = Difftest.Harness.budget_from_env budget in
+  let r =
+    Difftest.Harness.run ~simplify:Difftest.Mutant.bad_simplify ~seed ~budget
+      "blast"
+  in
+  match r.failures with
+  | [] ->
+    Fmt.pr "mutant SURVIVED %d runs — the oracle is blunt@." r.runs;
+    exit 1
+  | f :: _ ->
+    Fmt.pr "mutant caught after <= %d runs:@.%a@." r.runs
+      Difftest.Harness.pp_failure f
+
+open Cmdliner
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Master seed (FUZZ_SEED overrides)")
+
+let budget_arg default =
+  Arg.(value & opt int default
+       & info [ "budget" ] ~doc:"Cases per oracle (FUZZ_BUDGET overrides)")
+
+let oracle_arg =
+  Arg.(value & opt string "all"
+       & info [ "oracle" ] ~doc:"Oracle to fuzz: all|blast|session|vmir|flip")
+
+let corpus_arg =
+  Arg.(value & opt (some string) None
+       & info [ "corpus" ] ~doc:"Save failing cases into this directory")
+
+let dir_arg =
+  Arg.(value & opt string "test/corpus"
+       & info [ "dir" ] ~doc:"Corpus directory to replay")
+
+let run_cmd =
+  Cmd.v (Cmd.info "run" ~doc:"Fuzz the differential oracles")
+    Term.(const run_fuzz $ oracle_arg $ seed_arg $ budget_arg 500 $ corpus_arg)
+
+let replay_cmd =
+  Cmd.v (Cmd.info "replay" ~doc:"Replay a regression corpus")
+    Term.(const run_replay $ dir_arg)
+
+let mutant_cmd =
+  Cmd.v
+    (Cmd.info "mutant"
+       ~doc:"Verify the blast oracle catches a broken simplifier")
+    Term.(const run_mutant $ seed_arg $ budget_arg 200)
+
+let () =
+  let info = Cmd.info "fuzz" ~doc:"Cross-layer differential fuzzing" in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; replay_cmd; mutant_cmd ]))

@@ -1,0 +1,121 @@
+(** Persistent regression corpus.
+
+    Every interesting case — typically a shrunk fuzzing failure after
+    the underlying bug is fixed — is stored as a tiny text file naming
+    its oracle and case seed.  Because case generation is a pure
+    function of the seed (see {!Gen.of_seed}), replaying an entry
+    regenerates the exact case byte-for-byte; the corpus never stores
+    serialized terms that could drift from the generator.
+
+    File format ([<oracle>-<seed>.case]):
+    {v
+    # free-text note lines (e.g. the shrunk counterexample)
+    oracle vmir
+    seed 123456
+    v} *)
+
+type entry = {
+  oracle : string;
+  seed : int;
+  note : string option;  (** human context; ignored by the replayer *)
+}
+
+let filename (e : entry) = Printf.sprintf "%s-%d.case" e.oracle e.seed
+
+let render (e : entry) : string =
+  let buf = Buffer.create 128 in
+  (match e.note with
+   | None -> ()
+   | Some note ->
+     String.split_on_char '\n' note
+     |> List.iter (fun l -> Buffer.add_string buf ("# " ^ l ^ "\n")));
+  Buffer.add_string buf (Printf.sprintf "oracle %s\n" e.oracle);
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" e.seed);
+  Buffer.contents buf
+
+let parse (text : string) : (entry, string) result =
+  let lines = String.split_on_char '\n' text in
+  let note = Buffer.create 64 in
+  let oracle = ref None and seed = ref None in
+  let err = ref None in
+  List.iter
+    (fun line ->
+       let line = String.trim line in
+       if line = "" || !err <> None then ()
+       else if String.length line > 0 && line.[0] = '#' then begin
+         let l = String.sub line 1 (String.length line - 1) in
+         let l = if String.length l > 0 && l.[0] = ' ' then
+             String.sub l 1 (String.length l - 1) else l in
+         if Buffer.length note > 0 then Buffer.add_char note '\n';
+         Buffer.add_string note l
+       end
+       else
+         match String.index_opt line ' ' with
+         | None -> err := Some ("malformed line: " ^ line)
+         | Some i ->
+           let key = String.sub line 0 i in
+           let value =
+             String.trim (String.sub line (i + 1) (String.length line - i - 1))
+           in
+           (match key with
+            | "oracle" ->
+              if List.mem value Harness.oracle_names then oracle := Some value
+              else err := Some ("unknown oracle: " ^ value)
+            | "seed" -> (
+                match int_of_string_opt value with
+                | Some v -> seed := Some v
+                | None -> err := Some ("bad seed: " ^ value))
+            | k -> err := Some ("unknown key: " ^ k)))
+    lines;
+  match (!err, !oracle, !seed) with
+  | Some e, _, _ -> Error e
+  | None, Some oracle, Some seed ->
+    Ok
+      { oracle;
+        seed;
+        note = (if Buffer.length note > 0 then Some (Buffer.contents note)
+                else None) }
+  | None, None, _ -> Error "missing oracle"
+  | None, _, None -> Error "missing seed"
+
+let load (path : string) : (entry, string) result =
+  match open_in_bin path with
+  | exception Sys_error e -> Error e
+  | ic ->
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    Result.map_error (fun e -> path ^ ": " ^ e) (parse text)
+
+(** All [*.case] entries under [dir], in filename order (deterministic
+    replay order).  Unparseable files surface as [Error]s so a corrupt
+    corpus fails loudly rather than silently shrinking. *)
+let load_dir (dir : string) : (entry, string) result list =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.sort compare names;
+    Array.to_list names
+    |> List.filter (fun n -> Filename.check_suffix n ".case")
+    |> List.map (fun n -> load (Filename.concat dir n))
+
+let save (dir : string) (e : entry) : string =
+  let path = Filename.concat dir (filename e) in
+  let oc = open_out_bin path in
+  output_string oc (render e);
+  close_out oc;
+  path
+
+(** Re-run one corpus entry through its oracle. *)
+let replay (e : entry) : (unit, string) result =
+  fst (Harness.run_case e.oracle e.seed)
+
+(** Entry for a fresh failure: seed plus a note holding the diagnostic
+    and the shrunk counterexample, ready to promote into [test/corpus]. *)
+let of_failure (f : Harness.failure) : entry =
+  let note =
+    String.concat "\n"
+      ([ f.message ]
+       @ match f.shrunk with None -> [] | Some s -> [ "shrunk: " ^ s ])
+  in
+  { oracle = f.oracle; seed = f.seed; note = Some note }

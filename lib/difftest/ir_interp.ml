@@ -1,0 +1,78 @@
+(** A concrete interpreter for lifted {!Ir.Bil} statements.
+
+    This is the reference executor the VM-vs-IR oracle runs against:
+    every architectural variable lives in a plain environment, memory
+    is a private {!Vm.Mem} image, and expression semantics are exactly
+    {!Smt.Eval}'s (each [Bil.exp] is translated to a constant-leaf
+    {!Smt.Expr} with loads resolved eagerly, then evaluated).  Any
+    disagreement with {!Vm.Cpu} on the same instruction stream is a
+    lifting (Es1) or evaluation (Es3) bug. *)
+
+module E = Smt.Expr
+
+exception Unbound_var of string
+
+type t = {
+  vars : (string, int64) Hashtbl.t;
+  mem : Vm.Mem.t;
+}
+
+let create ~mem = { vars = Hashtbl.create 64; mem }
+
+let set t name w v = Hashtbl.replace t.vars name (Int64.logand v (E.mask w))
+
+let get t name w =
+  match Hashtbl.find_opt t.vars name with
+  | Some v -> Int64.logand v (E.mask w)
+  | None -> raise (Unbound_var name)
+
+(* translate to a constant-leaf Smt term; loads evaluate their address
+   recursively, so the result inherits Eval's operator semantics *)
+let rec to_expr t (e : Ir.Bil.exp) : E.t =
+  match e with
+  | Var (n, w) -> E.Const (get t n w, w)
+  | Int (v, w) -> E.Const (Int64.logand v (E.mask w), w)
+  | Load (a, n) -> E.Const (Vm.Mem.read t.mem (eval t a) n, 8 * n)
+  | Unop (op, a) -> E.Unop (op, to_expr t a)
+  | Binop (op, a, b) -> E.Binop (op, to_expr t a, to_expr t b)
+  | Cmp (op, a, b) -> E.Cmp (op, to_expr t a, to_expr t b)
+  | Ite (c, a, b) -> E.Ite (to_expr t c, to_expr t a, to_expr t b)
+  | Extract (hi, lo, a) -> E.Extract (hi, lo, to_expr t a)
+  | Concat (a, b) -> E.Concat (to_expr t a, to_expr t b)
+  | Zext (w, a) -> E.Zext (w, to_expr t a)
+  | Sext (w, a) -> E.Sext (w, to_expr t a)
+  | Fbin (op, a, b) -> E.Fbin (op, to_expr t a, to_expr t b)
+  | Fcmp (op, a, b) -> E.Fcmp (op, to_expr t a, to_expr t b)
+  | Fsqrt a -> E.Fsqrt (to_expr t a)
+  | Fof_int a -> E.Fof_int (to_expr t a)
+  | Fto_int a -> E.Fto_int (to_expr t a)
+
+and eval t (e : Ir.Bil.exp) : int64 =
+  Smt.Eval.eval ~memo:false (Hashtbl.create 1) (to_expr t e)
+
+type control =
+  | Fallthrough
+  | Branch of bool * int64  (** condition value, target if true *)
+  | Jump of int64
+  | Sys
+  | Stuck of string         (** [Special] — unliftable *)
+
+(** Run one instruction's statement list.  Returns the control
+    disposition; state and memory are updated in place. *)
+let run_stmts t (stmts : Ir.Bil.stmt list) : control =
+  let rec go = function
+    | [] -> Fallthrough
+    | s :: rest -> (
+        match (s : Ir.Bil.stmt) with
+        | Set (name, w, e) ->
+          set t name w (eval t e);
+          go rest
+        | Store (a, n, v) ->
+          Vm.Mem.write t.mem (eval t a) n (eval t v);
+          go rest
+        | Cjmp (c, target) -> Branch (eval t c = 1L, target)
+        | Jmp e -> Jump (eval t e)
+        | Syscall -> Sys
+        | Special msg -> Stuck msg)
+  in
+  go stmts

@@ -1,0 +1,31 @@
+(** Intentionally-wrong term rewrites, used only to demonstrate that
+    the differential oracles have teeth: running the blast-vs-eval
+    oracle with [bad_simplify] in the pipeline must produce a failure
+    within the smoke budget (see the acceptance test and the
+    [--mutant] CLI mode).  Never wired into the real solver. *)
+
+module E = Smt.Expr
+
+(* the classic strength-reduction typo: absorb OR into XOR.  They
+   agree unless both operands have a 1 bit in the same position, so a
+   random constraint stream exposes it quickly. *)
+let rec break (e : E.t) : E.t =
+  match e with
+  | E.Binop (E.Or, a, b) -> E.Binop (E.Xor, break a, break b)
+  | E.Var _ | E.Const _ -> e
+  | E.Unop (op, a) -> E.Unop (op, break a)
+  | E.Binop (op, a, b) -> E.Binop (op, break a, break b)
+  | E.Cmp (op, a, b) -> E.Cmp (op, break a, break b)
+  | E.Ite (c, a, b) -> E.Ite (break c, break a, break b)
+  | E.Extract (hi, lo, a) -> E.Extract (hi, lo, break a)
+  | E.Concat (a, b) -> E.Concat (break a, break b)
+  | E.Zext (w, a) -> E.Zext (w, break a)
+  | E.Sext (w, a) -> E.Sext (w, break a)
+  | E.Fbin (op, a, b) -> E.Fbin (op, break a, break b)
+  | E.Fcmp (op, a, b) -> E.Fcmp (op, break a, break b)
+  | E.Fsqrt a -> E.Fsqrt (break a)
+  | E.Fof_int a -> E.Fof_int (break a)
+  | E.Fto_int a -> E.Fto_int (break a)
+
+(** A "simplifier" that first runs the real one, then mis-rewrites. *)
+let bad_simplify (e : E.t) : E.t = break (Smt.Simplify.run e)

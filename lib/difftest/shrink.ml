@@ -1,0 +1,126 @@
+(** Greedy shrinking of failing cases to minimal counterexamples.
+
+    Two strategies cover every case family:
+    - [list_]: ddmin-style chunk removal over an operation /
+      instruction list (scripts, programs, guard chains), valid for
+      any family whose runner tolerates arbitrary sublists;
+    - [expr]: structural reduction of a constraint — repeatedly
+      replace some node by a same-width proper subterm or a constant,
+      as long as the predicate keeps failing.
+
+    [fails] must return [true] when the candidate still reproduces the
+    bug; both shrinkers are step-bounded so a pathological predicate
+    cannot loop. *)
+
+module E = Smt.Expr
+
+let max_steps = 2000
+
+(** Smallest sublist of [xs] on which [fails] still holds. *)
+let list_ (fails : 'a list -> bool) (xs : 'a list) : 'a list =
+  let steps = ref 0 in
+  let try_ c = incr steps; !steps <= max_steps && fails c in
+  (* remove chunks of decreasing size, restarting after any success *)
+  let rec pass xs n =
+    if n = 0 then xs
+    else
+      let len = List.length xs in
+      let rec at i =
+        if i >= len then pass xs (n / 2)
+        else
+          let candidate = List.filteri (fun j _ -> j < i || j >= i + n) xs in
+          if candidate <> xs && try_ candidate then pass candidate n
+          else at (i + n)
+      in
+      at 0
+  in
+  if xs = [] then xs else pass xs (max 1 (List.length xs / 2))
+
+(* proper subterms of [e] with width [w] *)
+let subterms_of_width w (e : E.t) : E.t list =
+  let kids_of = function
+    | E.Var _ | E.Const _ -> []
+    | E.Unop (_, a) | E.Extract (_, _, a) | E.Zext (_, a) | E.Sext (_, a)
+    | E.Fsqrt a | E.Fof_int a | E.Fto_int a -> [ a ]
+    | E.Binop (_, a, b) | E.Cmp (_, a, b) | E.Concat (a, b)
+    | E.Fbin (_, a, b) | E.Fcmp (_, a, b) -> [ a; b ]
+    | E.Ite (c, a, b) -> [ c; a; b ]
+  in
+  let rec collect e acc =
+    List.fold_left
+      (fun acc k ->
+         let acc = if E.width_of k = w then k :: acc else acc in
+         collect k acc)
+      acc (kids_of e)
+  in
+  List.rev (collect e [])
+
+(* one shrinking rewrite anywhere in the tree, outermost first.
+   [fails_in_ctx c] plugs the candidate into the surrounding term and
+   re-runs the predicate.  Every rewrite strictly reduces node count
+   (proper subterm, or non-constant -> constant), so iterating to a
+   fixpoint terminates. *)
+let rec step (fails_in_ctx : E.t -> bool) (e : E.t) : E.t option =
+  match e with
+  | E.Const _ | E.Var _ -> None
+  | _ -> (
+      let w = E.width_of e in
+      let cands =
+        subterms_of_width w e @ [ E.Const (0L, w); E.Const (1L, w) ]
+      in
+      match List.find_opt fails_in_ctx cands with
+      | Some c -> Some c
+      | None ->
+        let child ctx a =
+          Option.map ctx (step (fun a' -> fails_in_ctx (ctx a')) a)
+        in
+        let first = function
+          | [] -> None
+          | tries ->
+            List.fold_left
+              (fun acc t -> match acc with Some _ -> acc | None -> t ())
+              None tries
+        in
+        (match e with
+         | E.Unop (op, a) -> child (fun a -> E.Unop (op, a)) a
+         | E.Extract (hi, lo, a) -> child (fun a -> E.Extract (hi, lo, a)) a
+         | E.Zext (w', a) -> child (fun a -> E.Zext (w', a)) a
+         | E.Sext (w', a) -> child (fun a -> E.Sext (w', a)) a
+         | E.Fsqrt a -> child (fun a -> E.Fsqrt a) a
+         | E.Fof_int a -> child (fun a -> E.Fof_int a) a
+         | E.Fto_int a -> child (fun a -> E.Fto_int a) a
+         | E.Binop (op, a, b) ->
+           first
+             [ (fun () -> child (fun a -> E.Binop (op, a, b)) a);
+               (fun () -> child (fun b -> E.Binop (op, a, b)) b) ]
+         | E.Cmp (op, a, b) ->
+           first
+             [ (fun () -> child (fun a -> E.Cmp (op, a, b)) a);
+               (fun () -> child (fun b -> E.Cmp (op, a, b)) b) ]
+         | E.Concat (a, b) ->
+           first
+             [ (fun () -> child (fun a -> E.Concat (a, b)) a);
+               (fun () -> child (fun b -> E.Concat (a, b)) b) ]
+         | E.Fbin (op, a, b) ->
+           first
+             [ (fun () -> child (fun a -> E.Fbin (op, a, b)) a);
+               (fun () -> child (fun b -> E.Fbin (op, a, b)) b) ]
+         | E.Fcmp (op, a, b) ->
+           first
+             [ (fun () -> child (fun a -> E.Fcmp (op, a, b)) a);
+               (fun () -> child (fun b -> E.Fcmp (op, a, b)) b) ]
+         | E.Ite (c, a, b) ->
+           first
+             [ (fun () -> child (fun c -> E.Ite (c, a, b)) c);
+               (fun () -> child (fun a -> E.Ite (c, a, b)) a);
+               (fun () -> child (fun b -> E.Ite (c, a, b)) b) ]
+         | E.Var _ | E.Const _ -> None))
+
+(** Smallest same-width reduction of [e] on which [fails] holds. *)
+let expr (fails : E.t -> bool) (e : E.t) : E.t =
+  let steps = ref 0 in
+  let fails c = incr steps; !steps <= max_steps && fails c in
+  let rec loop e =
+    match step fails e with Some e' -> loop e' | None -> e
+  in
+  loop e

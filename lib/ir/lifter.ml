@@ -208,9 +208,12 @@ let lift (features : features) ~(next : int64) (insn : Isa.Insn.t) :
         if bits_of w = 64 then umulh a b
         else int_ 0 64
       in
+      (* [hi] reads RAX (and possibly the operand), so it must be
+         captured before the low half lands in RAX *)
       [ Set ("t_lo", bits_of w, lo);
+        Set ("t_hi", 64, hi);
         Set (Isa.Reg.show Isa.Reg.RAX, 64, Zext (64, Var ("t_lo", bits_of w)));
-        Set (Isa.Reg.show Isa.Reg.RDX, 64, hi) ]
+        Set (Isa.Reg.show Isa.Reg.RDX, 64, Var ("t_hi", 64)) ]
     | Idiv (w, o) ->
       (* divide-by-zero becomes a fault, handled by the executor via
          the trace's signal events; here we lift the success path *)

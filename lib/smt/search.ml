@@ -29,18 +29,21 @@ let soft_score env (c : Expr.t) =
 let score env constraints =
   List.fold_left (fun acc c -> acc +. soft_score env c) 0.0 constraints
 
-(* deterministic xorshift for reproducible search *)
-let rng_state = ref 0x2545F4914F6CDD1DL
+(* deterministic xorshift for reproducible search; the state is local
+   to each [fp_search] call so concurrent searches (or fuzz harnesses
+   re-seeding per case) never interfere *)
+let default_rng_seed = 0x2545F4914F6CDD1DL
 
-let rand_bits () =
-  let x = !rng_state in
+let rand_bits state =
+  let x = !state in
   let x = Int64.logxor x (Int64.shift_left x 13) in
   let x = Int64.logxor x (Int64.shift_right_logical x 7) in
   let x = Int64.logxor x (Int64.shift_left x 17) in
-  rng_state := x;
+  state := x;
   x
 
-let rand_int n = Int64.to_int (Int64.unsigned_rem (rand_bits ()) (Int64.of_int n))
+let rand_int state n =
+  Int64.to_int (Int64.unsigned_rem (rand_bits state) (Int64.of_int n))
 
 let interesting_bytes =
   [ 0L; 1L; 2L; 7L; 9L; 10L; 0x30L; 0x31L; 0x32L; 0x33L; 0x34L; 0x35L;
@@ -55,8 +58,10 @@ let interesting_wide =
 let candidates_for (v : Expr.var) =
   if v.width <= 8 then interesting_bytes else interesting_wide
 
-let fp_search ~iters ~seeds constraints : (string * int64) list option =
-  rng_state := 0x2545F4914F6CDD1DL;
+let fp_search ~iters ~seeds ?(rng_seed = default_rng_seed) constraints :
+  (string * int64) list option =
+  (* a zero seed would make xorshift degenerate; nudge it *)
+  let rng_state = ref (if rng_seed = 0L then default_rng_seed else rng_seed) in
   let vars = Expr.vars_of_list constraints in
   if vars = [] then None
   else begin
@@ -107,13 +112,15 @@ let fp_search ~iters ~seeds constraints : (string * int64) list option =
       let iter = ref 0 in
       while !result = None && !iter < iters do
         incr iter;
-        let v = var_arr.(rand_int nv) in
+        let v = var_arr.(rand_int rng_state nv) in
         let old = Hashtbl.find env v.vname in
         let cands = candidates_for v in
         let mutated =
-          match rand_int 4 with
-          | 0 -> List.nth cands (rand_int (List.length cands))
-          | 1 -> Int64.logxor old (Int64.shift_left 1L (rand_int (max 1 v.width)))
+          match rand_int rng_state 4 with
+          | 0 -> List.nth cands (rand_int rng_state (List.length cands))
+          | 1 ->
+            Int64.logxor old
+              (Int64.shift_left 1L (rand_int rng_state (max 1 v.width)))
           | 2 -> Int64.add old 1L
           | _ -> Int64.sub old 1L
         in

@@ -37,6 +37,9 @@ type config = {
   conflict_budget : int;
   enable_fp_search : bool;
   fp_search_iters : int;
+  fp_rng_seed : int64;
+      (** xorshift seed for the FP search fallback — explicit so unit
+          and fuzz runs are reproducible and independently seedable *)
   seeds : Eval.env list;
       (** candidate assignments the caller wants tried first (e.g.
           small decimal strings for argv-byte groups) *)
@@ -46,6 +49,7 @@ let default_config =
   { conflict_budget = 200_000;
     enable_fp_search = false;
     fp_search_iters = 50_000;
+    fp_rng_seed = Search.default_rng_seed;
     seeds = [] }
 
 (* ------------------------------------------------------------------ *)
@@ -278,7 +282,10 @@ let solve_uncached t (cfg : config) (cs_i : interned list) : outcome =
   if List.exists (contains_fp t) cs_i then begin
     if not cfg.enable_fp_search then Unknown Fp_unsupported
     else
-      match Search.fp_search ~iters:cfg.fp_search_iters ~seeds:cfg.seeds cs with
+      match
+        Search.fp_search ~iters:cfg.fp_search_iters ~seeds:cfg.seeds
+          ~rng_seed:cfg.fp_rng_seed cs
+      with
       | Some m -> Sat m
       | None -> Unknown Search_failed
   end

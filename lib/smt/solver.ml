@@ -26,6 +26,9 @@ type config = Session.config = {
   conflict_budget : int;
   enable_fp_search : bool;
   fp_search_iters : int;
+  fp_rng_seed : int64;
+      (** xorshift seed for the FP search fallback — explicit so unit
+          and fuzz runs are reproducible and independently seedable *)
   seeds : Eval.env list;
       (** candidate assignments the caller wants tried first (e.g.
           small decimal strings for argv-byte groups) *)

@@ -47,6 +47,29 @@ let solved_counts_shape () =
   Alcotest.(check bool) "angr >= triton" true
     (solved Engines.Profile.Angr >= solved Engines.Profile.Triton)
 
+(* grading is a property of the (bomb, tool) pair alone: two full runs
+   of the same configuration must verdict every cell identically, in
+   both solver modes.  Guards against hidden run-to-run state (RNG,
+   cache order, wall-clock cutoffs) leaking into Table II *)
+let grade_determinism () =
+  let bombs =
+    List.map Bombs.Catalog.find [ "stack_bomb"; "array1_bomb"; "float_bomb" ]
+  in
+  List.iter
+    (fun incremental ->
+       let r1 = Engines.Eval.run_table2 ~incremental ~bombs () in
+       let r2 = Engines.Eval.run_table2 ~incremental ~bombs () in
+       Alcotest.(check int) "same cell count" (List.length r1.cells)
+         (List.length r2.cells);
+       List.iter2
+         (fun (a : Engines.Eval.cell_result) (b : Engines.Eval.cell_result) ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s on %s (incremental=%b)"
+                 (Engines.Profile.name a.tool) a.bomb incremental)
+              (cell_symbol a.measured) (cell_symbol b.measured))
+         r1.cells r2.cells)
+    [ true; false ]
+
 let incremental_invariance () =
   (* regression: the incremental solver sessions are a pure
      optimisation — every Table II cell and the solved counts must be
@@ -160,5 +183,6 @@ let () =
          Alcotest.test_case "solved counts shape" `Quick solved_counts_shape;
          Alcotest.test_case "incremental invariance" `Quick
            incremental_invariance;
+         Alcotest.test_case "grade determinism" `Quick grade_determinism;
          Alcotest.test_case "table1 coverage" `Quick
            table1_covers_all_challenges ]) ]

@@ -323,6 +323,96 @@ let session_budget_unknown () =
   let st = Session.stats s in
   Alcotest.(check int) "no cache hit for unknown" 0 st.Stats.cache_hits
 
+(* exact accounting on a scripted session: every counter is predicted
+   by the script, and cache hits must cost zero blasting/conflicts *)
+let session_stats_exact () =
+  let x = Expr.var ~width:8 "x" in
+  let c1 = Expr.Cmp (Ult, x, Expr.const ~width:8 5L) in
+  let c2 = Expr.Cmp (Ult, Expr.const ~width:8 10L, x) in
+  let stats = Stats.create () in
+  let s = Session.create ~stats () in
+  let expect what outcome = function
+    | true -> ()
+    | false ->
+      Alcotest.failf "%s: got %s" what (Solver.outcome_to_string outcome)
+  in
+  (* q1: {c1} — fresh, blasts, sat *)
+  Session.assert_ s c1;
+  let o = Session.check s in
+  expect "q1 sat" o (match o with Session.Sat _ -> true | _ -> false);
+  Alcotest.(check int) "q1 queries" 1 stats.Stats.queries;
+  Alcotest.(check int) "q1 no hits" 0 stats.Stats.cache_hits;
+  Alcotest.(check int) "q1 sat count" 1 stats.Stats.sat;
+  Alcotest.(check bool) "q1 blasted nodes" true (stats.Stats.blasted_nodes > 0);
+  let blasted_q1 = stats.Stats.blasted_nodes in
+  let conflicts_q1 = stats.Stats.conflicts in
+  (* q2: {c1} again — answered by the query cache *)
+  let o = Session.check s in
+  expect "q2 sat" o (match o with Session.Sat _ -> true | _ -> false);
+  Alcotest.(check int) "q2 queries" 2 stats.Stats.queries;
+  Alcotest.(check int) "q2 hit" 1 stats.Stats.cache_hits;
+  Alcotest.(check int) "q2 sat count" 2 stats.Stats.sat;
+  Alcotest.(check int) "q2 blasts nothing" blasted_q1 stats.Stats.blasted_nodes;
+  Alcotest.(check int) "q2 zero conflicts" conflicts_q1 stats.Stats.conflicts;
+  (* q3: {c1, c2} — new set, new nodes, unsat *)
+  Session.push s;
+  Session.assert_ s c2;
+  let o = Session.check s in
+  expect "q3 unsat" o (o = Session.Unsat);
+  Alcotest.(check int) "q3 queries" 3 stats.Stats.queries;
+  Alcotest.(check int) "q3 no new hit" 1 stats.Stats.cache_hits;
+  Alcotest.(check int) "q3 unsat count" 1 stats.Stats.unsat;
+  Alcotest.(check bool) "q3 blasted more" true
+    (stats.Stats.blasted_nodes > blasted_q1);
+  let blasted_q3 = stats.Stats.blasted_nodes in
+  let conflicts_q3 = stats.Stats.conflicts in
+  (* q4: {c1, c2} again — unsat from cache, zero solver work *)
+  let o = Session.check s in
+  expect "q4 unsat" o (o = Session.Unsat);
+  Alcotest.(check int) "q4 queries" 4 stats.Stats.queries;
+  Alcotest.(check int) "q4 hit" 2 stats.Stats.cache_hits;
+  Alcotest.(check int) "q4 unsat count" 2 stats.Stats.unsat;
+  Alcotest.(check int) "q4 blasts nothing" blasted_q3 stats.Stats.blasted_nodes;
+  Alcotest.(check int) "q4 zero conflicts" conflicts_q3 stats.Stats.conflicts;
+  (* q5: pop back to {c1} — still cached from q1 *)
+  Session.pop s;
+  let o = Session.check s in
+  expect "q5 sat" o (match o with Session.Sat _ -> true | _ -> false);
+  Alcotest.(check int) "q5 queries" 5 stats.Stats.queries;
+  Alcotest.(check int) "q5 hit" 3 stats.Stats.cache_hits;
+  Alcotest.(check int) "q5 sat count" 3 stats.Stats.sat;
+  Alcotest.(check int) "q5 blasts nothing" blasted_q3 stats.Stats.blasted_nodes;
+  Alcotest.(check int) "unknown never incremented" 0 stats.Stats.unknown;
+  Alcotest.(check int) "stats copy is independent"
+    (Stats.copy stats).Stats.queries stats.Stats.queries
+
+(* identical scripts on two fresh sessions must produce identical
+   counters (everything except wall time is deterministic) *)
+let session_stats_deterministic () =
+  let script stats =
+    let s = Session.create ~stats () in
+    let x = Expr.var ~width:8 "x" in
+    let y = Expr.var ~width:16 "y" in
+    ignore (Session.check_assertions s [ Expr.Cmp (Ult, x, Expr.const ~width:8 9L) ]);
+    ignore
+      (Session.check_assertions s
+         [ Expr.Cmp (Ult, x, Expr.const ~width:8 9L);
+           Expr.eq
+             (Expr.Binop (Mul, Expr.const ~width:16 3L, y))
+             (Expr.const ~width:16 51L) ]);
+    ignore (Session.check_assertions s [ Expr.fls ])
+  in
+  let a = Stats.create () and b = Stats.create () in
+  script a;
+  script b;
+  Alcotest.(check int) "queries" a.Stats.queries b.Stats.queries;
+  Alcotest.(check int) "cache_hits" a.Stats.cache_hits b.Stats.cache_hits;
+  Alcotest.(check int) "sat" a.Stats.sat b.Stats.sat;
+  Alcotest.(check int) "unsat" a.Stats.unsat b.Stats.unsat;
+  Alcotest.(check int) "unknown" a.Stats.unknown b.Stats.unknown;
+  Alcotest.(check int) "blasted_nodes" a.Stats.blasted_nodes b.Stats.blasted_nodes;
+  Alcotest.(check int) "conflicts" a.Stats.conflicts b.Stats.conflicts
+
 let printers_smoke () =
   let x = Expr.var ~width:8 "x" in
   let c = Expr.eq (Expr.Binop (Add, x, Expr.const ~width:8 1L))
@@ -361,4 +451,8 @@ let () =
            session_matches_oneshot_and_caches;
          Alcotest.test_case "fp fallback" `Quick session_fp_fallback;
          Alcotest.test_case "budget unknown not cached" `Quick
-           session_budget_unknown ]) ]
+           session_budget_unknown;
+         Alcotest.test_case "stats accounting exact" `Quick
+           session_stats_exact;
+         Alcotest.test_case "stats deterministic" `Quick
+           session_stats_deterministic ]) ]
