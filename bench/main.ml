@@ -146,6 +146,21 @@ let bench_dse_no_libs =
          ignore
            (Concolic.Dse.explore config (Bombs.Catalog.image (bomb "sin_bomb")))))
 
+(* telemetry overhead: the same representative Table II cell with span
+   tracing on.  The plain table2/cell_* benches above run with tracing
+   off — comparing the two shows the enabled-mode cost, and the plain
+   cells must not regress against the pre-telemetry seed *)
+let bench_cell_bap_traced =
+  Test.make ~name:"telemetry/cell_bap_stack_traced"
+    (Staged.stage (fun () ->
+         (* reset per run so spans do not accumulate across the
+            timing loop *)
+         Telemetry.reset ();
+         Telemetry.enable ();
+         ignore
+           (Engines.Grade.run_cell Engines.Profile.Bap (bomb "stack_bomb"));
+         Telemetry.disable ()))
+
 (* differential-fuzzing throughput: cases/sec per oracle family, so a
    generator or oracle slowdown shows up next to the solver ablations *)
 let bench_fuzz_blast =
@@ -164,7 +179,8 @@ let benchmarks =
     bench_fig3_noprint; bench_fig3_print; bench_sizes; bench_negative;
     bench_mem_concrete; bench_mem_indexed; bench_solver_simplify;
     bench_solver_blast; bench_taint_sha1; bench_dse_with_libs;
-    bench_dse_no_libs; bench_fuzz_blast; bench_fuzz_vmir ]
+    bench_dse_no_libs; bench_cell_bap_traced; bench_fuzz_blast;
+    bench_fuzz_vmir ]
 
 (* ---------------- machine-readable solver ablation ---------------- *)
 

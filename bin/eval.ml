@@ -1,7 +1,10 @@
 (** Evaluation CLI: regenerate the paper's tables and figures.
 
     Subcommands: [table1], [table2], [fig3], [sizes], [negative],
-    [all]. *)
+    [validate-trace], [all].  With no subcommand, [--explain BOMB]
+    runs one cell under span tracing and prints the error-stage
+    diagnosis ([--tool] selects the engine, [--sink] the rendering,
+    [--trace-out]/[--jsonl-out] dump the recorded spans). *)
 
 let run_table2 no_incremental tools_filter bombs_filter =
   let tools =
@@ -56,6 +59,87 @@ let run_negative () =
 
 let run_table1 () = print_string (Engines.Eval.render_table1 ())
 
+(* --explain: run one cell under span tracing, print the Es-stage
+   diagnosis, then render/dump the trace through the chosen sinks *)
+let run_explain no_incremental bomb_name tool_name sinks trace_out jsonl_out =
+  match Bombs.Catalog.find_opt bomb_name with
+  | None ->
+    Printf.eprintf "unknown bomb %S (see `eval sizes` for the catalog)\n"
+      bomb_name;
+    exit 2
+  | Some bomb ->
+    let tool =
+      match Engines.Profile.of_name tool_name with
+      | Some t -> t
+      | None ->
+        Printf.eprintf "unknown tool %S (BAP, Triton, Angr, Angr-NoLib)\n"
+          tool_name;
+        exit 2
+    in
+    let sinks =
+      match sinks with
+      | [] -> [ Telemetry.Tree ]
+      | names ->
+        List.map
+          (fun s ->
+             match Telemetry.sink_of_string s with
+             | Some sink -> sink
+             | None ->
+               Printf.eprintf
+                 "unknown sink %S (silent, tree, jsonl, chrome)\n" s;
+               exit 2)
+          names
+    in
+    let r =
+      Engines.Explain.run ~incremental:(not no_incremental) tool bomb
+    in
+    print_string (Engines.Explain.render r);
+    List.iter
+      (fun sink ->
+         match (sink : Telemetry.sink) with
+         | Silent | Tree -> ()  (* the report already embeds the tree *)
+         | Jsonl | Chrome ->
+           Printf.printf "--- sink %s ---\n%s" (Telemetry.sink_name sink)
+             (Telemetry.render_sink sink))
+      sinks;
+    Option.iter
+      (fun path ->
+         Telemetry.write_chrome path;
+         Printf.printf "wrote Chrome trace to %s\n" path)
+      trace_out;
+    Option.iter
+      (fun path ->
+         Telemetry.write_jsonl path;
+         Printf.printf "wrote JSONL spans to %s\n" path)
+      jsonl_out
+
+(* validate-trace: independent structural check of emitted files *)
+let run_validate_trace files =
+  let fail = ref false in
+  List.iter
+    (fun path ->
+       let jsonl = Filename.check_suffix path ".jsonl" in
+       let outcome =
+         if jsonl then
+           match Telemetry.Trace_check.validate_jsonl_file path with
+           | Ok n -> Ok (Printf.sprintf "%d span objects" n)
+           | Error e -> Error e
+         else
+           match Telemetry.Trace_check.validate_chrome_file path with
+           | Ok { events; spans; max_depth } ->
+             Ok
+               (Printf.sprintf "%d events, %d balanced spans, depth %d"
+                  events spans max_depth)
+           | Error e -> Error e
+       in
+       match outcome with
+       | Ok msg -> Printf.printf "%s: OK (%s)\n" path msg
+       | Error e ->
+         Printf.printf "%s: INVALID (%s)\n" path e;
+         fail := true)
+    files;
+  if !fail then exit 1
+
 open Cmdliner
 
 let tools_arg =
@@ -106,8 +190,62 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc:"Everything") Term.(const run $ const ())
 
+let validate_trace_cmd =
+  let files =
+    Arg.(non_empty & pos_all file []
+         & info [] ~docv:"FILE"
+           ~doc:"Trace files to validate (.jsonl validates as JSONL \
+                 spans, anything else as Chrome trace_event JSON)")
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:"Structurally validate emitted telemetry trace files")
+    Term.(const run_validate_trace $ files)
+
+(* the group default: `eval --explain <bomb>` with no subcommand *)
+let explain_term =
+  let explain_arg =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ] ~docv:"BOMB"
+           ~doc:"Run one Table II cell under span tracing and print \
+                 the Es0-Es3 error-stage diagnosis")
+  in
+  let tool_arg =
+    Arg.(value & opt string "BAP"
+         & info [ "tool" ] ~docv:"TOOL"
+           ~doc:"Engine profile for --explain (BAP, Triton, Angr, \
+                 Angr-NoLib)")
+  in
+  let sink_arg =
+    Arg.(value & opt_all string []
+         & info [ "sink" ] ~docv:"SINK"
+           ~doc:"Telemetry sink(s) to render after the diagnosis \
+                 (silent, tree, jsonl, chrome); repeatable")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Write the recorded spans as Chrome trace_event JSON \
+                 (loadable in about:tracing / Perfetto)")
+  in
+  let jsonl_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "jsonl-out" ] ~docv:"FILE"
+           ~doc:"Write the recorded spans as JSONL")
+  in
+  let run no_incremental bomb tool sinks trace_out jsonl_out =
+    match bomb with
+    | Some bomb_name ->
+      run_explain no_incremental bomb_name tool sinks trace_out jsonl_out;
+      `Ok ()
+    | None -> `Help (`Pager, None)
+  in
+  Term.(ret
+          (const run $ no_incremental_arg $ explain_arg $ tool_arg
+           $ sink_arg $ trace_out_arg $ jsonl_out_arg))
+
 let () =
   let info = Cmd.info "eval" ~doc:"Logic-bomb evaluation harness" in
-  exit (Cmd.eval (Cmd.group info
+  exit (Cmd.eval (Cmd.group ~default:explain_term info
                     [ table1_cmd; table2_cmd; fig3_cmd; sizes_cmd;
-                      negative_cmd; all_cmd ]))
+                      negative_cmd; validate_trace_cmd; all_cmd ]))

@@ -12,6 +12,32 @@
 
 let spf = Printf.sprintf
 
+(* exit summary: per-oracle throughput off the telemetry registry *)
+let print_summary () =
+  let rows =
+    List.filter_map
+      (fun o ->
+         let v n = Telemetry.Metrics.counter_value (spf "fuzz.%s.%s" o n) in
+         let cases = v "cases" in
+         if cases = 0 then None
+         else
+           let wall = Telemetry.Metrics.gauge_value_of (spf "fuzz.%s.wall_s" o) in
+           Some (o, cases, v "failures", v "shrink_steps", wall))
+      Difftest.Harness.oracle_names
+  in
+  if rows <> [] then begin
+    Fmt.pr "@.%-10s %8s %9s %13s %9s %10s@." "oracle" "cases" "failures"
+      "shrink steps" "wall (s)" "cases/s";
+    List.iter
+      (fun (o, cases, failures, shrink, wall) ->
+         Fmt.pr "%-10s %8d %9d %13d %9.3f %10.1f@." o cases failures shrink
+           wall
+           (if wall > 0.0 then float_of_int cases /. wall else 0.0))
+      rows
+  end;
+  let replays = Telemetry.Metrics.counter_value "fuzz.corpus.replays" in
+  if replays > 0 then Fmt.pr "corpus replays: %d@." replays
+
 let oracles_of = function
   | "all" -> Difftest.Harness.oracle_names
   | o when List.mem o Difftest.Harness.oracle_names -> [ o ]
@@ -39,6 +65,7 @@ let run_fuzz oracle seed budget corpus_dir =
               Fmt.pr "saved %s@." path)
            r.failures)
     (oracles_of oracle);
+  print_summary ();
   if !total_failures > 0 then exit 1
 
 let run_replay dir =
@@ -61,6 +88,7 @@ let run_replay dir =
              incr bad;
              Fmt.pr "FAIL %s: %s@." (Difftest.Corpus.filename e) msg))
     entries;
+  print_summary ();
   if !bad > 0 then exit 1
 
 let run_mutant seed budget =
@@ -76,7 +104,8 @@ let run_mutant seed budget =
     exit 1
   | f :: _ ->
     Fmt.pr "mutant caught after <= %d runs:@.%a@." r.runs
-      Difftest.Harness.pp_failure f
+      Difftest.Harness.pp_failure f;
+    print_summary ()
 
 open Cmdliner
 

@@ -9,8 +9,10 @@ let extras : Common.t list = Extras.all
 
 let all : Common.t list = table2 @ extras
 
+let find_opt name = List.find_opt (fun (b : Common.t) -> b.name = name) all
+
 let find name =
-  match List.find_opt (fun (b : Common.t) -> b.name = name) all with
+  match find_opt name with
   | Some b -> b
   | None -> invalid_arg (Printf.sprintf "Catalog.find: unknown bomb %s" name)
 

@@ -78,7 +78,11 @@ let input_of_model ~seed ~width (model : Smt.Solver.model) =
   | Some i -> String.sub s 0 i
   | None -> s
 
+let m_traces = Telemetry.Metrics.counter "concolic.traces"
+let m_branch_flips = Telemetry.Metrics.counter "concolic.branch_flips"
+
 let explore ?(seed = "5") (config : config) (target : target) : verdict =
+  Telemetry.with_span "concolic.driver" @@ fun () ->
   let pad_seed s =
     match config.argv with
     | Fixed_seed -> s
@@ -125,6 +129,7 @@ let explore ?(seed = "5") (config : config) (target : target) : verdict =
        if not (Hashtbl.mem tried input) then begin
          Hashtbl.replace tried input ();
          incr traces;
+         Telemetry.Metrics.incr m_traces;
          let run_config = target.run_config input in
          let trace =
            Trace.record ~max_events:config.max_events ~config:run_config
@@ -173,6 +178,7 @@ let explore ?(seed = "5") (config : config) (target : target) : verdict =
                     else solve cs
                   with
                   | Smt.Solver.Sat model ->
+                    Telemetry.Metrics.incr m_branch_flips;
                     let input' = input_of_model ~seed:input ~width model in
                     if not (Hashtbl.mem tried input') then
                       Queue.add input' worklist

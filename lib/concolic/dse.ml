@@ -474,9 +474,14 @@ let feasible t (s : sstate) =
     | Smt.Solver.Unsat -> false
     | _ -> true
 
+let m_dse_steps = Telemetry.Metrics.counter "dse.steps"
+let m_dse_states = Telemetry.Metrics.counter "dse.states"
+let m_dse_forks = Telemetry.Metrics.counter "dse.forks"
+
 (** Explore [image] looking for a path into the [goal] symbol. *)
 let explore ?goal_symbol:(goal = "bomb") (config : config)
     (image : Asm.Image.t) : outcome =
+  Telemetry.with_span "concolic.dse" @@ fun () ->
   let run_config =
     { Vm.Machine.default_config with
       argv = [ "prog"; String.make config.argv_width 'x' ] }
@@ -600,8 +605,8 @@ let explore ?goal_symbol:(goal = "bomb") (config : config)
                | insn, next ->
                  let ctx = Sym_exec.make_ctx s.st (hooks_of t s) in
                  let finish_state () =
-                   (if Sys.getenv_opt "DSE_DEBUG" <> None then
-                      Printf.eprintf "state dies at 0x%Lx (%s)\n%!" s.pc
+                   (if Telemetry.Log.enabled Telemetry.Log.Debug then
+                      Telemetry.Log.debugf "dse: state dies at 0x%Lx (%s)" s.pc
                         (try Isa.Pp.to_string (fst (Asm.Image.decode_at t.image s.pc))
                          with _ -> "?"));
                    live := false;
@@ -686,6 +691,9 @@ let explore ?goal_symbol:(goal = "bomb") (config : config)
    | Sim_crash msg ->
      crashed := Some msg;
      t.all_diags <- Error.Engine_crash msg :: t.all_diags);
+  Telemetry.Metrics.add m_dse_steps t.total_steps;
+  Telemetry.Metrics.add m_dse_states t.spawned;
+  Telemetry.Metrics.add m_dse_forks t.forks;
   { claims = List.rev !claims;
     reached_goal = !reached;
     explored_states = t.spawned;

@@ -77,8 +77,12 @@ let argv1_source ?(include_nul = false) (trace : Trace.t) =
     s_len = (if include_nul then len else len - 1);
     s_prefix = "argv1" }
 
+let m_constraints = Telemetry.Metrics.counter "concolic.constraints"
+let m_sym_branches = Telemetry.Metrics.counter "concolic.sym_branches"
+
 let run (config : config) ?session ?(sources : source list option)
     (trace : Trace.t) : path =
+  Telemetry.with_span "concolic.trace_exec" @@ fun () ->
   let sources =
     match sources with Some s -> s | None -> [ argv1_source trace ]
   in
@@ -356,6 +360,8 @@ let run (config : config) ?session ?(sources : source list option)
             aborted := true
           | Fault_branch -> ()))
     trace.events;
+  Telemetry.Metrics.add m_constraints (List.length st.State.constraints);
+  Telemetry.Metrics.add m_sym_branches (List.length !branches);
   { constraints = List.rev st.State.constraints;
     branches = List.rev !branches;
     sym_jumps = List.rev !sym_jumps;

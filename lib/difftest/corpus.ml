@@ -106,8 +106,11 @@ let save (dir : string) (e : entry) : string =
   close_out oc;
   path
 
+let m_replays = Telemetry.Metrics.counter "fuzz.corpus.replays"
+
 (** Re-run one corpus entry through its oracle. *)
 let replay (e : entry) : (unit, string) result =
+  Telemetry.Metrics.incr m_replays;
   fst (Harness.run_case e.oracle e.seed)
 
 (** Entry for a fresh failure: seed plus a note holding the diagnostic

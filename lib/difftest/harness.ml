@@ -12,6 +12,13 @@ let spf = Printf.sprintf
 
 let oracle_names = [ "blast"; "session"; "vmir"; "flip" ]
 
+(* per-oracle throughput metrics; [bin/fuzz.exe] renders these as its
+   exit summary table *)
+let m_cases o = Telemetry.Metrics.counter (spf "fuzz.%s.cases" o)
+let m_failures o = Telemetry.Metrics.counter (spf "fuzz.%s.failures" o)
+let m_shrink_steps o = Telemetry.Metrics.counter (spf "fuzz.%s.shrink_steps" o)
+let m_wall o = Telemetry.Metrics.gauge (spf "fuzz.%s.wall_s" o)
+
 (* splitmix-flavoured mixer: case seeds must not collide across
    nearby master seeds, and must stay positive for [Random.State] *)
 let mix master i =
@@ -85,7 +92,12 @@ let run_case ?simplify (oracle : string) (seed : int) :
     or [None] if the failure does not reproduce (flaky oracle —
     should never happen with seed-determined cases). *)
 let shrink_case ?simplify (oracle : string) (seed : int) : string option =
-  let failing r = match r with Error _ -> true | Ok () -> false in
+  let steps = m_shrink_steps oracle in
+  (* every oracle evaluation during shrinking is one shrink step *)
+  let failing r =
+    Telemetry.Metrics.incr steps;
+    match r with Error _ -> true | Ok () -> false
+  in
   match oracle with
   | "blast" ->
     let c = Gen.of_seed Gen.gen_constraint seed in
@@ -135,17 +147,23 @@ type report = { oracle : string; runs : int; failures : failure list }
 (** Run [budget] fresh cases of [oracle], case seeds mixed from
     [seed].  Failures are shrunk as they are found. *)
 let run ?simplify ~seed ~budget (oracle : string) : report =
+  let cases = m_cases oracle and fails = m_failures oracle in
+  let wall = m_wall oracle in
+  let t0 = Unix.gettimeofday () in
   let failures = ref [] in
   for i = 0 to budget - 1 do
     let case_seed = mix seed i in
     let outcome, rendered = run_case ?simplify oracle case_seed in
+    Telemetry.Metrics.incr cases;
     match outcome with
     | Ok () -> ()
     | Error message ->
+      Telemetry.Metrics.incr fails;
       let shrunk = shrink_case ?simplify oracle case_seed in
       failures :=
         { oracle; seed = case_seed; message; rendered; shrunk } :: !failures
   done;
+  Telemetry.Metrics.gauge_add wall (Unix.gettimeofday () -. t0);
   { oracle; runs = budget; failures = List.rev !failures }
 
 let pp_failure ppf (f : failure) =

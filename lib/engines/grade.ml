@@ -100,11 +100,17 @@ let grade (bomb : Bombs.Common.t) (a : Profile.attempt) : graded =
         proposed = None; detonated = false; false_positive = false;
         diags = a.diags; work = a.work }
 
+let m_cell_wall = Telemetry.Metrics.histogram "eval.cell_wall_us"
+
 (** Run one tool on one bomb, end to end.  [incremental] selects
     between session-based and one-shot solving in the engine; the
     derived cell must not depend on it. *)
 let run_cell ?incremental (tool : Profile.tool) (bomb : Bombs.Common.t) :
   graded =
+  Telemetry.with_span "cell" @@ fun () ->
+  Telemetry.annotate "tool" (Profile.name tool);
+  Telemetry.annotate "bomb" bomb.name;
+  let t0 = Telemetry.clock_us () in
   let image = Bombs.Catalog.image bomb in
   let run_config input =
     Bombs.Common.config_for ~winning:false bomb input
@@ -124,4 +130,8 @@ let run_cell ?incremental (tool : Profile.tool) (bomb : Bombs.Common.t) :
     | Profile.Angr_nolib ->
       Profile.run_angr ?incremental ~mode:Concolic.Dse.No_libs ~image ()
   in
-  grade bomb attempt
+  let g = grade bomb attempt in
+  Telemetry.Metrics.observe m_cell_wall
+    (int_of_float (Telemetry.clock_us () -. t0));
+  Telemetry.annotate "cell" (cell_symbol g.cell);
+  g

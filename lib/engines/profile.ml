@@ -18,6 +18,15 @@ let name = function
   | Angr -> "Angr"
   | Angr_nolib -> "Angr-NoLib"
 
+(** Inverse of {!name}, case-insensitive, accepting common spellings. *)
+let of_name s =
+  match String.lowercase_ascii (String.trim s) with
+  | "bap" -> Some Bap
+  | "triton" -> Some Triton
+  | "angr" -> Some Angr
+  | "angr-nolib" | "angr_nolib" | "nolib" -> Some Angr_nolib
+  | _ -> None
+
 (** What an engine run produced, in tool-independent form. *)
 type attempt = {
   proposed : string option;   (** candidate argv[1] *)

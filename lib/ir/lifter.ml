@@ -142,9 +142,12 @@ let umulh a b =
   in
   Binop (Add, Binop (Add, hh, carry), Binop (Add, hi32 lh, hi32 hl))
 
+let m_insns_lifted = Telemetry.Metrics.counter "lifter.insns_lifted"
+let m_unmodeled = Telemetry.Metrics.counter "lifter.unmodeled"
+
 (** [lift features ~next insn] produces the statement list; [next] is
     the fall-through address (needed to lower calls). *)
-let lift (features : features) ~(next : int64) (insn : Isa.Insn.t) :
+let lift_insn (features : features) ~(next : int64) (insn : Isa.Insn.t) :
   stmt list =
   if Isa.Insn.is_fp insn && not features.lift_fp then
     [ Special (Printf.sprintf "unsupported fp instruction: %s"
@@ -284,3 +287,13 @@ let lift (features : features) ~(next : int64) (insn : Isa.Insn.t) :
         Set (flag_s, 1, b0) ]
     | Nop -> []
     | Hlt -> [ Special "hlt" ]
+
+(** Instrumented entry point: counts lifted instructions and those
+    whose lifting degrades to [Special] (the Es1 failure mode —
+    semantics the IR cannot model). *)
+let lift features ~next insn : stmt list =
+  let stmts = lift_insn features ~next insn in
+  Telemetry.Metrics.incr m_insns_lifted;
+  if List.exists (function Special _ -> true | _ -> false) stmts then
+    Telemetry.Metrics.incr m_unmodeled;
+  stmts

@@ -321,15 +321,14 @@ let solve_uncached t (cfg : config) (cs_i : interned list) : outcome =
         with
         | exception Blast.Unsupported_fp -> Unknown Fp_unsupported
         | assumptions -> (
-            t.stats.blasted_nodes <-
-              t.stats.blasted_nodes + (Blast.num_nodes t.blast - nodes_before);
+            Stats.add_blasted t.stats (Blast.num_nodes t.blast - nodes_before);
             let conflicts_before = Blast.num_conflicts t.blast in
             let result =
               Blast.solve ~conflict_budget:cfg.conflict_budget ~assumptions
                 t.blast
             in
-            t.stats.conflicts <-
-              t.stats.conflicts + (Blast.num_conflicts t.blast - conflicts_before);
+            Stats.add_conflicts t.stats
+              (Blast.num_conflicts t.blast - conflicts_before);
             match result with
             | Sat ->
               let m = restrict_model (Blast.model t.blast) cs in
@@ -343,9 +342,10 @@ let solve_uncached t (cfg : config) (cs_i : interned list) : outcome =
     config for this call only (engines use a small budget for
     feasibility pruning and a large one for final queries). *)
 let check ?config t : outcome =
+  Telemetry.with_span "smt.check" @@ fun () ->
   let cfg = Option.value ~default:t.config config in
   let t0 = Sys.time () in
-  t.stats.queries <- t.stats.queries + 1;
+  Stats.record_query t.stats;
   let cs_i = asserted t in
   let result =
     if List.exists (fun (i : interned) -> Expr.is_false i.node) cs_i then Unsat
@@ -370,7 +370,7 @@ let check ?config t : outcome =
         in
         match cached with
         | Some r ->
-          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          Stats.record_cache_hit t.stats;
           r
         | None ->
           let r = solve_uncached t cfg cs_i in
@@ -383,10 +383,10 @@ let check ?config t : outcome =
     end
   in
   (match result with
-   | Sat _ -> t.stats.sat <- t.stats.sat + 1
-   | Unsat -> t.stats.unsat <- t.stats.unsat + 1
-   | Unknown _ -> t.stats.unknown <- t.stats.unknown + 1);
-  t.stats.wall_time <- t.stats.wall_time +. (Sys.time () -. t0);
+   | Sat _ -> Stats.record_sat t.stats
+   | Unsat -> Stats.record_unsat t.stats
+   | Unknown _ -> Stats.record_unknown t.stats);
+  Stats.add_wall t.stats (Sys.time () -. t0);
   result
 
 (** [set_assertions] followed by [check] — the engines' entry point. *)

@@ -46,6 +46,57 @@ let add ~into:dst src =
   dst.conflicts <- dst.conflicts + src.conflicts;
   dst.wall_time <- dst.wall_time +. src.wall_time
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry registry mirrors                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The per-session record stays authoritative (engines surface exact
+   per-outcome accounting off it); the helpers below additionally fold
+   each mutation into the global registry so one `smt.*` namespace
+   aggregates solver work across every session in a run.  Sessions
+   mutate stats only through these. *)
+
+let m_queries = Telemetry.Metrics.counter "smt.queries"
+let m_cache_hits = Telemetry.Metrics.counter "smt.cache_hits"
+let m_sat = Telemetry.Metrics.counter "smt.sat"
+let m_unsat = Telemetry.Metrics.counter "smt.unsat"
+let m_unknown = Telemetry.Metrics.counter "smt.unknown"
+let m_blasted = Telemetry.Metrics.counter "smt.blasted_nodes"
+let m_conflicts = Telemetry.Metrics.counter "smt.conflicts"
+let m_wall = Telemetry.Metrics.gauge "smt.wall_s"
+
+let record_query s =
+  s.queries <- s.queries + 1;
+  Telemetry.Metrics.incr m_queries
+
+let record_cache_hit s =
+  s.cache_hits <- s.cache_hits + 1;
+  Telemetry.Metrics.incr m_cache_hits
+
+let record_sat s =
+  s.sat <- s.sat + 1;
+  Telemetry.Metrics.incr m_sat
+
+let record_unsat s =
+  s.unsat <- s.unsat + 1;
+  Telemetry.Metrics.incr m_unsat
+
+let record_unknown s =
+  s.unknown <- s.unknown + 1;
+  Telemetry.Metrics.incr m_unknown
+
+let add_blasted s n =
+  s.blasted_nodes <- s.blasted_nodes + n;
+  Telemetry.Metrics.add m_blasted n
+
+let add_conflicts s n =
+  s.conflicts <- s.conflicts + n;
+  Telemetry.Metrics.add m_conflicts n
+
+let add_wall s dt =
+  s.wall_time <- s.wall_time +. dt;
+  Telemetry.Metrics.gauge_add m_wall dt
+
 let to_string s =
   Printf.sprintf
     "queries=%d hits=%d sat=%d unsat=%d unknown=%d blasted=%d conflicts=%d \

@@ -35,13 +35,26 @@ type result = {
   tainted_jumps : int list;
       (** event indices of indirect jumps/calls with tainted targets *)
   tainted_count : int;   (** number of tainted [Exec] events *)
+  kills : int;
+      (** strong updates that removed existing taint (untainted data
+          overwriting a tainted register/flag/byte) — where data flow
+          actually dies, not merely fails to spread *)
   kernel_writes : int list;
       (** event indices where tainted data left through the kernel
           without the policy following it (diagnostic for Es2) *)
 }
 
+(* registry metrics: Figure 3's tainted-instruction count is read back
+   off [metric_tainted_insns] by the evaluation harness *)
+let metric_tainted_insns = "taint.tainted_insns"
+
+let m_tainted_insns = Telemetry.Metrics.counter metric_tainted_insns
+let m_kills = Telemetry.Metrics.counter "taint.kills"
+
 let analyze ?(policy = pin_policy) ~(sources : (int64 * int) list)
     (events : Vm.Event.t array) : result =
+  Telemetry.with_span "taint.analyze" @@ fun () ->
+  let kills = ref 0 in
   let mem : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
   List.iter
     (fun (addr, len) ->
@@ -64,7 +77,11 @@ let analyze ?(policy = pin_policy) ~(sources : (int64 * int) list)
   let set_mem a n v =
     for i = 0 to n - 1 do
       let key = Int64.add a (Int64.of_int i) in
-      if v then Hashtbl.replace mem key () else Hashtbl.remove mem key
+      if v then Hashtbl.replace mem key ()
+      else if Hashtbl.mem mem key then begin
+        Hashtbl.remove mem key;
+        incr kills
+      end
     done
   in
   let tainted = Array.make (Array.length events) false in
@@ -100,18 +117,27 @@ let analyze ?(policy = pin_policy) ~(sources : (int64 * int) list)
            (fun r ->
               let key = (e.tid, Isa.Reg.index r) in
               if in_taint then Hashtbl.replace regs key ()
-              else Hashtbl.remove regs key)
+              else if Hashtbl.mem regs key then begin
+                Hashtbl.remove regs key;
+                incr kills
+              end)
            acc.w_regs;
          List.iter
            (fun x ->
               let key = (e.tid, Isa.Reg.xmm_index x) in
               if in_taint then Hashtbl.replace xmms key ()
-              else Hashtbl.remove xmms key)
+              else if Hashtbl.mem xmms key then begin
+                Hashtbl.remove xmms key;
+                incr kills
+              end)
            acc.w_xmm;
          List.iter (fun (a, n) -> set_mem a n in_taint) acc.w_mem;
          if acc.w_flags then
            if in_taint then Hashtbl.replace flags e.tid ()
-           else Hashtbl.remove flags e.tid
+           else if Hashtbl.mem flags e.tid then begin
+             Hashtbl.remove flags e.tid;
+             incr kills
+           end
        | Vm.Event.Sys { record; _ } ->
          List.iter
            (fun eff ->
@@ -141,8 +167,11 @@ let analyze ?(policy = pin_policy) ~(sources : (int64 * int) list)
            record.effects
        | Vm.Event.Signal _ -> ())
     events;
+  Telemetry.Metrics.add m_tainted_insns !count;
+  Telemetry.Metrics.add m_kills !kills;
   { tainted;
     tainted_branch = List.rev !branches;
     tainted_jumps = List.rev !jumps;
     tainted_count = !count;
+    kills = !kills;
     kernel_writes = List.rev !kwrites }

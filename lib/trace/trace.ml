@@ -14,8 +14,11 @@ type t = {
   config : Vm.Machine.config;
 }
 
+let m_events = Telemetry.Metrics.counter "trace.events"
+
 (** Record a trace of the root process (its threads included). *)
 let record ?(max_events = 3_000_000) ~(config : Vm.Machine.config) image : t =
+  Telemetry.with_span "trace.record" @@ fun () ->
   let machine = Vm.Machine.create ~config image in
   let events = ref [] in
   let n = ref 0 in
@@ -31,6 +34,7 @@ let record ?(max_events = 3_000_000) ~(config : Vm.Machine.config) image : t =
         incr n
       end);
   let result = Vm.Machine.run machine in
+  Telemetry.Metrics.add m_events !n;
   { events = Array.of_list (List.rev !events);
     result;
     argv_layout = machine.argv_layout;

@@ -75,6 +75,13 @@ let default_config =
 type fault = Div_by_zero | Bad_decode of string
 [@@deriving show { with_path = false }]
 
+(* machine-level telemetry; steps are added as a per-run delta so the
+   hot step loop pays nothing for instrumentation *)
+let m_steps = Telemetry.Metrics.counter "vm.steps"
+let m_faults = Telemetry.Metrics.counter "vm.faults"
+let m_syscalls = Telemetry.Metrics.counter "vm.syscalls"
+let m_signals = Telemetry.Metrics.counter "vm.signals"
+
 type run_result = {
   exit_code : int option;      (** of the root process *)
   stdout : string;
@@ -636,6 +643,7 @@ let step_task t task =
         t.steps <- t.steps + 1;
         task.state <- (if task.state = Dead then Dead else Runnable);
         exec next_pc;
+        Telemetry.Metrics.incr m_syscalls;
         emit t (Event.Sys { pid = proc.pid; tid = task.tid; record });
         true
       | Would_block ->
@@ -649,6 +657,7 @@ let step_task t task =
       cpu.Cpu.pc <- proc.sigfpe_handler;
       Cpu.set_reg cpu RDI 8L;
       exec proc.sigfpe_handler;
+      Telemetry.Metrics.incr m_signals;
       emit t
         (Event.Signal
            { pid = proc.pid; tid = task.tid; signum = 8;
@@ -685,6 +694,9 @@ let finish t ~deadlocked ~fuel_exhausted =
 (** Run to completion (root process exit), fuel exhaustion, fault, or
     deadlock. *)
 let run t =
+  Telemetry.with_span "vm.run" @@ fun () ->
+  let steps_before = t.steps in
+  let fault_before = t.fault in
   let deadlocked = ref false in
   let out_of_fuel = ref false in
   (try
@@ -722,6 +734,9 @@ let run t =
        end
      done
    with Exit -> ());
+  Telemetry.Metrics.add m_steps (t.steps - steps_before);
+  if t.fault <> None && fault_before = None then
+    Telemetry.Metrics.incr m_faults;
   finish t ~deadlocked:!deadlocked ~fuel_exhausted:!out_of_fuel
 
 (** Convenience: load, run, return the result. *)

@@ -21,6 +21,49 @@ let fig3_shape () =
   Alcotest.(check bool) "branch count grows" true
     (r.print_branches > r.noprint_branches)
 
+let fig3_telemetry_agreement () =
+  (* the headline counts are derived from the taint.tainted_insns
+     telemetry counter; the analyzer's own tainted_count must agree,
+     or the instrumentation is lying about Figure 3 *)
+  let r = Engines.Eval.run_fig3 () in
+  Alcotest.(check int) "noprint: counter = direct" r.noprint_tainted_direct
+    r.noprint_tainted;
+  Alcotest.(check int) "print: counter = direct" r.print_tainted_direct
+    r.print_tainted
+
+let explain_agrees_with_grade () =
+  (* --explain must attribute the stage the Table II cell reports:
+     same Grade.run_cell, same verdict, marked span present *)
+  List.iter
+    (fun (tool, bomb_name) ->
+       let bomb = Bombs.Catalog.find bomb_name in
+       let expected = Engines.Grade.run_cell tool bomb in
+       let r = Engines.Explain.run tool bomb in
+       Alcotest.(check string)
+         (Printf.sprintf "%s on %s" (Engines.Profile.name tool) bomb_name)
+         (cell_symbol expected.cell)
+         (cell_symbol r.graded.cell);
+       Alcotest.(check bool) "stage derives from the cell" true
+         (Engines.Explain.stage_of_cell r.graded.cell = r.stage);
+       (* a failed cell marks a span; the Chrome dump stays valid *)
+       (match r.stage with
+        | Some _ ->
+          let marked =
+            List.exists
+              (fun (s : Telemetry.span) -> Telemetry.attr s "mark" <> None)
+              (Telemetry.finished_spans ())
+          in
+          Alcotest.(check bool) "a span is marked" true marked
+        | None -> ());
+       match Telemetry.Trace_check.validate_chrome (Telemetry.to_chrome ()) with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "invalid chrome trace: %s" e)
+    [ (Engines.Profile.Bap, "time_bomb");      (* Es0 *)
+      (Engines.Profile.Bap, "stack_bomb");     (* Es1 *)
+      (Engines.Profile.Triton, "pthread_bomb");(* Es2 *)
+      (Engines.Profile.Angr, "array2_bomb");   (* Es3 *)
+      (Engines.Profile.Angr, "array1_bomb") ]  (* Success *)
+
 let negative_bomb_false_positive () =
   let results = Engines.Eval.run_negative () in
   let nolib =
@@ -178,6 +221,10 @@ let () =
            (check_cell Engines.Profile.Angr_nolib "fork_bomb" Success) ]);
       ("aggregates",
        [ Alcotest.test_case "fig3 shape" `Quick fig3_shape;
+         Alcotest.test_case "fig3 telemetry agreement" `Quick
+           fig3_telemetry_agreement;
+         Alcotest.test_case "explain agrees with grade" `Quick
+           explain_agrees_with_grade;
          Alcotest.test_case "negative bomb" `Quick
            negative_bomb_false_positive;
          Alcotest.test_case "solved counts shape" `Quick solved_counts_shape;
