@@ -161,6 +161,17 @@ let bench_cell_bap_traced =
            (Engines.Grade.run_cell Engines.Profile.Bap (bomb "stack_bomb"));
          Telemetry.disable ()))
 
+(* supervisor overhead: the same representative cell run through the
+   robust cell supervisor with the default (unlimited, no-chaos)
+   policy.  Comparing against table2/cell_bap_stack shows what crash
+   isolation and budget accounting cost on an untripped cell *)
+let bench_cell_bap_supervised =
+  Test.make ~name:"robust/cell_bap_stack_supervised"
+    (Staged.stage (fun () ->
+         ignore
+           (Engines.Supervisor.run_cell Engines.Profile.Bap
+              (bomb "stack_bomb"))))
+
 (* differential-fuzzing throughput: cases/sec per oracle family, so a
    generator or oracle slowdown shows up next to the solver ablations *)
 let bench_fuzz_blast =
@@ -179,8 +190,8 @@ let benchmarks =
     bench_fig3_noprint; bench_fig3_print; bench_sizes; bench_negative;
     bench_mem_concrete; bench_mem_indexed; bench_solver_simplify;
     bench_solver_blast; bench_taint_sha1; bench_dse_with_libs;
-    bench_dse_no_libs; bench_cell_bap_traced; bench_fuzz_blast;
-    bench_fuzz_vmir ]
+    bench_dse_no_libs; bench_cell_bap_traced; bench_cell_bap_supervised;
+    bench_fuzz_blast; bench_fuzz_vmir ]
 
 (* ---------------- machine-readable solver ablation ---------------- *)
 
@@ -250,11 +261,79 @@ let solver_report () =
     rows;
   print_endline "wrote BENCH_solver.json"
 
+(* ---------------- machine-readable robust-layer report ------------- *)
+
+(* supervisor overhead on untripped cells (bare vs supervised wall
+   time over [reps] runs) plus one fixed-seed soak summary — the
+   numbers the acceptance criteria pin for the robust layer *)
+let robust_report () =
+  let reps = 5 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      ignore (f ())
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let overhead_cell name tool bomb_name =
+    let b = bomb bomb_name in
+    let bare = time (fun () -> Engines.Grade.run_cell tool b) in
+    let supervised = time (fun () -> Engines.Supervisor.run_cell tool b) in
+    (name, bare, supervised)
+  in
+  let cells =
+    [ overhead_cell "table2/cell_bap_stack" Engines.Profile.Bap "stack_bomb";
+      overhead_cell "table2/cell_triton_stack" Engines.Profile.Triton
+        "stack_bomb" ]
+  in
+  let soak =
+    Engines.Supervisor.soak ~tools:[ Engines.Profile.Bap ]
+      ~bombs:[ "time_bomb"; "argvlen_bomb" ] ~seed:42L ~plans:25 ()
+  in
+  let json =
+    Printf.sprintf
+      "{\n  \"supervisor_overhead\": [\n%s\n  ],\n  \"soak\": {\"seed\": %Ld, \
+       \"plans\": %d, \"cells\": %d, \"faults_fired\": %d, \"graded_e\": %d, \
+       \"graded_p\": %d, \"contained\": %b}\n}\n"
+      (String.concat ",\n"
+         (List.map
+            (fun (name, bare, supervised) ->
+               Printf.sprintf
+                 "    {\"workload\": %S, \"bare_wall_s\": %.6f, \
+                  \"supervised_wall_s\": %.6f, \"overhead_pct\": %.2f}"
+                 name bare supervised
+                 (100. *. (supervised -. bare) /. bare))
+            cells))
+      soak.seed soak.plans soak.cells_run soak.faults_fired soak.degraded_e
+      soak.degraded_p
+      (Engines.Supervisor.contained soak)
+  in
+  let oc = open_out "BENCH_robust.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\n%-36s %12s %12s %9s\n" "supervised workload" "bare"
+    "supervised" "overhead";
+  List.iter
+    (fun (name, bare, supervised) ->
+       Printf.printf "%-36s %9.3f ms %9.3f ms %8.2f%%\n" name (bare *. 1e3)
+         (supervised *. 1e3)
+         (100. *. (supervised -. bare) /. bare))
+    cells;
+  Printf.printf
+    "soak: %d cells, %d faults fired (E: %d, P: %d), contained: %b\n"
+    soak.cells_run soak.faults_fired soak.degraded_e soak.degraded_p
+    (Engines.Supervisor.contained soak);
+  print_endline "wrote BENCH_robust.json"
+
 let () =
-  (* `bench --solver-report` skips the Bechamel timing loop and only
-     regenerates BENCH_solver.json *)
+  (* `bench --solver-report` / `--robust-report` skip the Bechamel
+     timing loop and only regenerate the machine-readable reports *)
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--solver-report" then begin
     solver_report ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--robust-report" then begin
+    robust_report ();
     exit 0
   end;
   let cfg = Benchmark.cfg ~limit:6 ~quota:(Time.second 1.5) () in
@@ -275,4 +354,5 @@ let () =
               (time /. runs /. 1e6) runs)
          results)
     benchmarks;
-  solver_report ()
+  solver_report ();
+  robust_report ()

@@ -6,23 +6,42 @@
     diagnosis ([--tool] selects the engine, [--sink] the rendering,
     [--trace-out]/[--jsonl-out] dump the recorded spans). *)
 
-let run_table2 no_incremental tools_filter bombs_filter =
-  let tools =
-    match tools_filter with
-    | [] -> Engines.Profile.all
-    | names ->
-      List.filter
-        (fun t -> List.mem (String.lowercase_ascii (Engines.Profile.name t))
-            (List.map String.lowercase_ascii names))
-        Engines.Profile.all
+let parse_tools tools_filter =
+  match tools_filter with
+  | [] -> Engines.Profile.all
+  | names ->
+    List.filter
+      (fun t -> List.mem (String.lowercase_ascii (Engines.Profile.name t))
+          (List.map String.lowercase_ascii names))
+      Engines.Profile.all
+
+(* supervision policy off the CLI flags; an unlimited budget with no
+   retries is the default-policy fast path preserving current output *)
+let parse_policy budget_spec retries backoff =
+  let budget =
+    match budget_spec with
+    | None -> Robust.Budget.unlimited
+    | Some spec -> (
+        match Robust.Budget.parse spec with
+        | Ok b -> b
+        | Error e ->
+          Printf.eprintf "bad --budget: %s\n" e;
+          exit 2)
   in
+  { Engines.Supervisor.default_policy with budget; retries; backoff }
+
+let run_table2 no_incremental budget_spec retries backoff tools_filter
+    bombs_filter =
+  let tools = parse_tools tools_filter in
   let bombs =
     match bombs_filter with
     | [] -> Bombs.Catalog.table2
     | names -> List.map Bombs.Catalog.find names
   in
+  let policy = parse_policy budget_spec retries backoff in
   let r =
-    Engines.Eval.run_table2 ~incremental:(not no_incremental) ~tools ~bombs ()
+    Engines.Eval.run_table2 ~incremental:(not no_incremental) ~policy ~tools
+      ~bombs ()
   in
   print_string (Engines.Eval.render_table2 r)
 
@@ -58,6 +77,56 @@ let run_negative () =
     results
 
 let run_table1 () = print_string (Engines.Eval.render_table1 ())
+
+(* chaos: seeded fault-injection soak over supervised cells.  The
+   seed comes from --seed, else ROBUST_CHAOS_SEED, else a fixed
+   default so bare runs are reproducible *)
+let run_chaos no_incremental seed plans tools_filter bombs_filter verbose =
+  let seed =
+    match seed with
+    | Some s -> s
+    | None -> (
+        match Sys.getenv_opt "ROBUST_CHAOS_SEED" with
+        | Some v -> (
+            match Int64.of_string_opt v with
+            | Some s -> s
+            | None ->
+              Printf.eprintf "ROBUST_CHAOS_SEED=%S is not an integer\n" v;
+              exit 2)
+        | None -> 0xC0FFEEL)
+  in
+  let tools =
+    match tools_filter with
+    | [] -> Engines.Supervisor.default_soak_tools
+    | _ -> parse_tools tools_filter
+  in
+  let bombs =
+    match bombs_filter with
+    | [] -> Engines.Supervisor.default_soak_bombs
+    | names -> names
+  in
+  if verbose then
+    List.iter
+      (fun i ->
+         Printf.printf "plan %d: %s\n" i
+           (Format.asprintf "%a" Robust.Chaos.pp_plan
+              (Robust.Chaos.plan_of_seed (Int64.add seed (Int64.of_int i)))))
+      (List.init plans (fun i -> i));
+  let report =
+    Engines.Supervisor.soak ~incremental:(not no_incremental) ~tools ~bombs
+      ~seed ~plans ()
+  in
+  print_string (Engines.Supervisor.render_soak report);
+  Printf.printf "robust counters:\n";
+  List.iter
+    (fun (name, reading) ->
+       if String.length name >= 7 && String.sub name 0 7 = "robust." then
+         match reading with
+         | Telemetry.Metrics.Vcounter n when n > 0 ->
+           Printf.printf "  %-32s %d\n" name n
+         | _ -> ())
+    (Telemetry.Metrics.snapshot ());
+  if not (Engines.Supervisor.contained report) then exit 1
 
 (* --explain: run one cell under span tracing, print the Es-stage
    diagnosis, then render/dump the trace through the chosen sinks *)
@@ -156,9 +225,56 @@ let no_incremental_arg =
             incremental solver sessions (ablation; Table II must be \
             identical either way)")
 
+let budget_arg =
+  Arg.(value & opt (some string) None
+       & info [ "budget" ] ~docv:"SPEC"
+         ~doc:
+           "Per-cell resource budget, e.g. \
+            $(b,vm=200000,lift=50000,smt=2000,nodes=100000,taint=100000,wall=2.5) \
+            (wall in seconds). A tripped budget grades the cell E (or \
+            P for cancellation) instead of aborting the run.")
+
+let retries_arg =
+  Arg.(value & opt int 0
+       & info [ "retries" ]
+         ~doc:
+           "Retry a budget-tripped cell this many times with the \
+            budget scaled by --backoff each time")
+
+let backoff_arg =
+  Arg.(value & opt float 10.0
+       & info [ "backoff" ]
+         ~doc:"Budget scale factor applied on each retry")
+
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II")
-    Term.(const run_table2 $ no_incremental_arg $ tools_arg $ bombs_arg)
+    Term.(const run_table2 $ no_incremental_arg $ budget_arg $ retries_arg
+          $ backoff_arg $ tools_arg $ bombs_arg)
+
+let chaos_cmd =
+  let seed_arg =
+    Arg.(value & opt (some int64) None
+         & info [ "seed" ] ~docv:"SEED"
+           ~doc:
+             "Chaos seed deriving the fault plans (default: \
+              $(b,ROBUST_CHAOS_SEED), else 0xC0FFEE)")
+  in
+  let plans_arg =
+    Arg.(value & opt int 50
+         & info [ "plans" ] ~doc:"Number of seed-derived fault plans")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Print every derived fault plan")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Seeded fault-injection soak: run supervised cells under \
+          deterministically derived fault plans and verify every \
+          injected fault is contained to its cell (exit 1 otherwise)")
+    Term.(const run_chaos $ no_incremental_arg $ seed_arg $ plans_arg
+          $ tools_arg $ bombs_arg $ verbose_arg)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
@@ -182,7 +298,7 @@ let all_cmd =
     print_newline ();
     run_sizes ();
     print_newline ();
-    run_table2 false [] [];
+    run_table2 false None 0 10.0 [] [];
     print_newline ();
     run_fig3 ();
     print_newline ();
@@ -248,4 +364,5 @@ let () =
   let info = Cmd.info "eval" ~doc:"Logic-bomb evaluation harness" in
   exit (Cmd.eval (Cmd.group ~default:explain_term info
                     [ table1_cmd; table2_cmd; fig3_cmd; sizes_cmd;
-                      negative_cmd; validate_trace_cmd; all_cmd ]))
+                      negative_cmd; validate_trace_cmd; chaos_cmd;
+                      all_cmd ]))

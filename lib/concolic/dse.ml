@@ -537,6 +537,10 @@ let explore ?goal_symbol:(goal = "bomb") (config : config)
            raise Exit
          end;
          t.total_steps <- t.total_steps + 1;
+         (* amortized cancellation/deadline poll for the DSE walk; the
+            per-instruction budgets are charged by the lifter and
+            session layers this loop calls into *)
+         if t.total_steps land 0xFF = 0 then Robust.Meter.checkpoint_ambient ();
          if Int64.equal s.pc t.goal then begin
            incr reached;
            let cs = State.path_condition s.st in

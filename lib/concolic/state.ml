@@ -30,6 +30,9 @@ type t = {
       (** solver session constraints are interned into as they are
           recorded; clones share it, so a forked state's path-predicate
           prefix is already encoded when the engine checks the fork *)
+  meter : Robust.Meter.t option;
+      (** cell budget accounting, shared by clones; constraint
+          recording doubles as a cooperative checkpoint *)
 }
 
 and info = {
@@ -41,7 +44,7 @@ and info = {
 
 and kind = Branch | Fault_guard | Address_bound | Assumption of string
 
-let create ?session () =
+let create ?meter ?session () =
   { env = Hashtbl.create 64;
     shadow = Hashtbl.create 256;
     constraints = [];
@@ -49,7 +52,8 @@ let create ?session () =
     load_depth = 0;
     built_cost = 0;
     load_depths = Phys.create 64;
-    session }
+    session;
+    meter = Robust.Meter.default meter }
 
 let clone t =
   { env = Hashtbl.copy t.env;
@@ -59,7 +63,8 @@ let clone t =
     load_depth = t.load_depth;
     built_cost = t.built_cost;
     load_depths = Phys.copy t.load_depths;
-    session = t.session }
+    session = t.session;
+    meter = t.meter }
 
 let attach_session t session = t.session <- Some session
 
@@ -71,6 +76,9 @@ let diag t d = t.diags <- d :: t.diags
 let intern_cost_cap = 300_000
 
 let add_constraint t ?(kind = Branch) ~pc ~taken e =
+  (match t.meter with
+   | Some m -> Robust.Meter.checkpoint m
+   | None -> ());
   match e with
   | E.Const (1L, 1) -> ()   (* concretely true: no information *)
   | _ ->

@@ -177,7 +177,10 @@ let run_angr ?(incremental = true) ~(mode : Concolic.Dse.mode)
       symbolic_branches = outcome.symbolic_branches;
       trace_based = false;
       work = outcome.steps }
-  | exception e ->
+  | exception e when not (Robust.is_fault e) ->
+    (* typed robust faults (budget trips, injected chaos) must reach
+       the cell supervisor for cause attribution — only unexpected
+       engine crashes degrade to an Engine_crash diag here *)
     { proposed = None;
       diags = [ Concolic.Error.Engine_crash (Printexc.to_string e) ];
       crashed = true;

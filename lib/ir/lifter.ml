@@ -292,6 +292,10 @@ let lift_insn (features : features) ~(next : int64) (insn : Isa.Insn.t) :
     whose lifting degrades to [Special] (the Es1 failure mode —
     semantics the IR cannot model). *)
 let lift features ~next insn : stmt list =
+  (* charge the ambient budget meter (and run the unmodeled-insn chaos
+     probe) before doing the work: a tripped lifted-insn cap must stop
+     the cell here, at the paper's Es1 stage *)
+  Robust.Meter.lift_tick ();
   let stmts = lift_insn features ~next insn in
   Telemetry.Metrics.incr m_insns_lifted;
   if List.exists (function Special _ -> true | _ -> false) stmts then

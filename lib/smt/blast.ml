@@ -292,8 +292,8 @@ let num_nodes t = Phys.length t.cache
 
 let num_conflicts t = Sat.num_conflicts t.sat
 
-let solve ?conflict_budget ?assumptions t =
-  Sat.solve ?conflict_budget ?assumptions t.sat
+let solve ?conflict_budget ?meter ?assumptions t =
+  Sat.solve ?conflict_budget ?meter ?assumptions t.sat
 
 (** Extract the model for the named variables after [Sat] answered. *)
 let model t : (string * int64) list =

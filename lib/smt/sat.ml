@@ -338,7 +338,7 @@ let restart_interval n = int_of_float (100.0 *. (1.5 ** float_of_int n))
     previous SAT answer must not leak into clause simplification. *)
 let reset_to_root t = cancel_until t 0
 
-let solve ?(conflict_budget = max_int) ?(assumptions = []) t : result =
+let solve ?(conflict_budget = max_int) ?meter ?(assumptions = []) t : result =
   if not t.ok then Unsat
   else begin
     cancel_until t 0;
@@ -356,6 +356,12 @@ let solve ?(conflict_budget = max_int) ?(assumptions = []) t : result =
          | Some confl ->
            t.conflicts <- t.conflicts + 1;
            incr conflicts_here;
+           (* charge the cell budget meter; a tripped conflict cap or
+              deadline unwinds to the supervisor (the session rolls
+              its assertion stack back, see Smt.Session) *)
+           (match meter with
+            | Some m -> Robust.Meter.charge_solver_conflicts m 1
+            | None -> ());
            if decision_level t = 0 then begin
              t.ok <- false;
              result := Unsat

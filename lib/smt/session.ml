@@ -97,9 +97,14 @@ type t = {
   lits : (int, int) Hashtbl.t;          (* id -> assumption literal *)
   query_cache : (string, cached) Hashtbl.t;
   stats : Stats.t;
+  meter : Robust.Meter.t option;
+      (** cell budget accounting: node interning charges the
+          expr-node cap, [check] polls deadline/cancellation and
+          threads the meter into the CDCL core *)
 }
 
-let create ?(config = default_config) ?stats () =
+let create ?meter ?(config = default_config) ?stats () =
+  let meter = Robust.Meter.default meter in
   { config;
     frames = [ { asserted = [] } ];
     simp_cache = Simplify.create_cache ();
@@ -111,7 +116,8 @@ let create ?(config = default_config) ?stats () =
     blast = Blast.create ();
     lits = Hashtbl.create 64;
     query_cache = Hashtbl.create 64;
-    stats = (match stats with Some s -> s | None -> Stats.create ()) }
+    stats = (match stats with Some s -> s | None -> Stats.create ());
+    meter }
 
 let key ?(i = 0L) ?(n = 0) ?(s = "") tag kids : Key.t =
   { Key.tag; i; n; s; kids }
@@ -174,6 +180,13 @@ and cons t (e : Expr.t) : interned =
   match Ktbl.find_opt t.consed k with
   | Some i -> i
   | None ->
+    (* a genuinely fresh node: charge the interned-node budget and run
+       the allocation-failure chaos probe before allocating the id *)
+    (match t.meter with
+     | Some m ->
+       Robust.Meter.charge_expr_nodes m 1;
+       Robust.Meter.probe m Robust.Chaos.Alloc_failure
+     | None -> ());
     let id = t.next_id in
     t.next_id <- id + 1;
     (match node with
@@ -324,8 +337,8 @@ let solve_uncached t (cfg : config) (cs_i : interned list) : outcome =
             Stats.add_blasted t.stats (Blast.num_nodes t.blast - nodes_before);
             let conflicts_before = Blast.num_conflicts t.blast in
             let result =
-              Blast.solve ~conflict_budget:cfg.conflict_budget ~assumptions
-                t.blast
+              Blast.solve ~conflict_budget:cfg.conflict_budget
+                ?meter:t.meter ~assumptions t.blast
             in
             Stats.add_conflicts t.stats
               (Blast.num_conflicts t.blast - conflicts_before);
@@ -343,6 +356,15 @@ let solve_uncached t (cfg : config) (cs_i : interned list) : outcome =
     feasibility pruning and a large one for final queries). *)
 let check ?config t : outcome =
   Telemetry.with_span "smt.check" @@ fun () ->
+  (* budget/chaos gate on every solver entry: the solver-timeout and
+     cancellation probes fire here, and a cancelled or past-deadline
+     cell stops before paying for blasting *)
+  (match t.meter with
+   | Some m ->
+     Robust.Meter.probe m Robust.Chaos.Solver_timeout;
+     Robust.Meter.probe m Robust.Chaos.Cancellation;
+     Robust.Meter.checkpoint m
+   | None -> ());
   let cfg = Option.value ~default:t.config config in
   let t0 = Sys.time () in
   Stats.record_query t.stats;
@@ -389,7 +411,21 @@ let check ?config t : outcome =
   Stats.add_wall t.stats (Sys.time () -. t0);
   result
 
-(** [set_assertions] followed by [check] — the engines' entry point. *)
+(** [set_assertions] followed by [check] — the engines' entry point.
+
+    Exception-safe: if a budget trip, injected fault, or any other
+    exception escapes mid-call, the assertion stack is rolled back to
+    its pre-call state so a failed cell cannot poison a reused
+    session.  Restoring the saved frame list is sound because
+    [set_assertions] never mutates surviving frames — it only pops
+    suffixes and pushes fresh frames, which the restore discards. *)
 let check_assertions ?config t cs =
-  set_assertions t cs;
-  check ?config t
+  let saved = t.frames in
+  match
+    set_assertions t cs;
+    check ?config t
+  with
+  | outcome -> outcome
+  | exception e ->
+    t.frames <- saved;
+    raise e

@@ -54,6 +54,9 @@ let m_kills = Telemetry.Metrics.counter "taint.kills"
 let analyze ?(policy = pin_policy) ~(sources : (int64 * int) list)
     (events : Vm.Event.t array) : result =
   Telemetry.with_span "taint.analyze" @@ fun () ->
+  (* ambient budget meter, fetched once: the per-event charge below is
+     a single option match when no cell supervisor is active *)
+  let meter = Robust.Meter.ambient () in
   let kills = ref 0 in
   let mem : (int64, unit) Hashtbl.t = Hashtbl.create 256 in
   List.iter
@@ -89,6 +92,9 @@ let analyze ?(policy = pin_policy) ~(sources : (int64 * int) list)
   let count = ref 0 in
   Array.iteri
     (fun idx ev ->
+       (match meter with
+        | Some m -> Robust.Meter.charge_taint_events m 1
+        | None -> ());
        match ev with
        | Vm.Event.Exec e ->
          let acc = Vm.Access.of_insn e.regs_before e.insn in

@@ -110,6 +110,10 @@ type t = {
   mutable hook : (Event.t -> unit) option;
   argv_layout : (int64 * int) list;
       (** (address, length-with-NUL) of each argv string *)
+  meter : Robust.Meter.t option;
+      (** resource accounting; captured from the ambient meter at
+          {!create} so supervised cells govern every machine they
+          spin up without threading a parameter through each site *)
 }
 
 let stack_top = 0x7ff0_0000L
@@ -157,7 +161,8 @@ let fresh_memory ?(config = default_config) image =
   let rsp, argv_layout = setup_stack mem config.argv in
   (mem, rsp, argv_layout)
 
-let create ?(config = default_config) image =
+let create ?meter ?(config = default_config) image =
+  let meter = Robust.Meter.default meter in
   let mem, rsp, argv_layout = fresh_memory ~config image in
   let cpu = Cpu.create ~pc:image.Asm.Image.entry () in
   Cpu.set_reg cpu RSP rsp;
@@ -182,7 +187,8 @@ let create ?(config = default_config) image =
       fault = None;
       decode_cache = Hashtbl.create 1024;
       hook = None;
-      argv_layout }
+      argv_layout;
+      meter }
   in
   List.iter
     (fun (path, data) ->
@@ -699,6 +705,16 @@ let run t =
   let fault_before = t.fault in
   let deadlocked = ref false in
   let out_of_fuel = ref false in
+  let charge =
+    match t.meter with
+    | None -> fun () -> ()
+    | Some m -> fun () -> Robust.Meter.charge_vm_steps m 1
+  in
+  let account () =
+    Telemetry.Metrics.add m_steps (t.steps - steps_before);
+    if t.fault <> None && fault_before = None then
+      Telemetry.Metrics.incr m_faults
+  in
   (try
      while not (root_exited t) do
        if t.steps >= t.config.fuel then begin
@@ -720,6 +736,7 @@ let run t =
                 && t.fault = None && t.steps < t.config.fuel
               do
                 if step_task t task then begin
+                  charge ();
                   progressed := true;
                   task.state <-
                     (if task.state = Blocked then Runnable else task.state)
@@ -733,13 +750,17 @@ let run t =
          raise Exit
        end
      done
-   with Exit -> ());
-  Telemetry.Metrics.add m_steps (t.steps - steps_before);
-  if t.fault <> None && fault_before = None then
-    Telemetry.Metrics.incr m_faults;
+   with
+   | Exit -> ()
+   | e ->
+     (* a tripped budget or injected fault propagates to the cell
+        supervisor; record the step delta before unwinding *)
+     account ();
+     raise e);
+  account ();
   finish t ~deadlocked:!deadlocked ~fuel_exhausted:!out_of_fuel
 
 (** Convenience: load, run, return the result. *)
-let run_image ?config image =
-  let t = create ?config image in
+let run_image ?meter ?config image =
+  let t = create ?meter ?config image in
   run t

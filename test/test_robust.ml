@@ -1,0 +1,389 @@
+(** Resource governance and chaos harness: budget parsing and
+    tripping, deterministic fault plans, session rollback on a forced
+    fault, supervised-cell grading, budget determinism across runs and
+    solver modes, and the ≥50-plan containment soak. *)
+
+open Concolic.Error
+
+(* ---------------- budgets ---------------- *)
+
+let budget_parse () =
+  (match Robust.Budget.parse "vm=100,smt=5,wall=1.5" with
+   | Ok b ->
+     Alcotest.(check (option int)) "vm" (Some 100) b.vm_steps;
+     Alcotest.(check (option int)) "smt" (Some 5) b.solver_conflicts;
+     Alcotest.(check bool) "wall in us" true (b.wall_us = Some 1_500_000.);
+     Alcotest.(check (option int)) "lift unmetered" None b.lifted_insns
+   | Error e -> Alcotest.failf "parse failed: %s" e);
+  (match Robust.Budget.parse "" with
+   | Ok b -> Alcotest.(check bool) "empty = unlimited" true
+               (Robust.Budget.is_unlimited b)
+   | Error e -> Alcotest.failf "empty spec: %s" e);
+  (match Robust.Budget.parse "vm=x" with
+   | Ok _ -> Alcotest.fail "vm=x should not parse"
+   | Error _ -> ());
+  match Robust.Budget.parse "frobs=3" with
+  | Ok _ -> Alcotest.fail "unknown key should not parse"
+  | Error _ -> ()
+
+let budget_scale () =
+  match Robust.Budget.parse "vm=100,nodes=7" with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok b ->
+    let s = Robust.Budget.scale 10.0 b in
+    Alcotest.(check (option int)) "vm scaled" (Some 1000) s.vm_steps;
+    Alcotest.(check (option int)) "nodes scaled" (Some 70) s.expr_nodes;
+    Alcotest.(check (option int)) "unmetered stays" None s.solver_conflicts
+
+let exhausted_resource f =
+  match f () with
+  | exception Robust.Meter.Exhausted { resource; _ } -> Some resource
+  | _ -> None
+
+let meter_trips () =
+  let b = { Robust.Budget.unlimited with vm_steps = Some 3 } in
+  let m = Robust.Meter.create b in
+  Robust.Meter.charge_vm_steps m 3;
+  Alcotest.(check bool) "under the cap" true true;
+  Alcotest.(check bool) "4th step trips Vm_steps" true
+    (exhausted_resource (fun () -> Robust.Meter.charge_vm_steps m 1)
+     = Some Robust.Meter.Vm_steps);
+  let m2 =
+    Robust.Meter.create
+      { Robust.Budget.unlimited with solver_conflicts = Some 0 }
+  in
+  Alcotest.(check bool) "conflict cap" true
+    (exhausted_resource (fun () -> Robust.Meter.charge_solver_conflicts m2 1)
+     = Some Robust.Meter.Solver_conflicts)
+
+let meter_cancellation () =
+  let m = Robust.Meter.create Robust.Budget.unlimited in
+  Robust.Meter.checkpoint m;  (* no-op before cancel *)
+  Robust.Meter.cancel m;
+  Alcotest.(check bool) "checkpoint after cancel" true
+    (exhausted_resource (fun () -> Robust.Meter.checkpoint m)
+     = Some Robust.Meter.Cancelled)
+
+let meter_ambient () =
+  Alcotest.(check bool) "no ambient outside" true
+    (Robust.Meter.ambient () = None);
+  let m = Robust.Meter.create Robust.Budget.unlimited in
+  Robust.Meter.with_ambient m (fun () ->
+      Alcotest.(check bool) "installed" true (Robust.Meter.ambient () = Some m));
+  Alcotest.(check bool) "restored" true (Robust.Meter.ambient () = None);
+  (* restored across an exception too *)
+  (try
+     Robust.Meter.with_ambient m (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "restored after raise" true
+    (Robust.Meter.ambient () = None)
+
+(* ---------------- chaos plans ---------------- *)
+
+let plan_deterministic () =
+  let p1 = Robust.Chaos.plan_of_seed 0xDEADL in
+  let p2 = Robust.Chaos.plan_of_seed 0xDEADL in
+  Alcotest.(check bool) "same seed, same plan" true (p1 = p2);
+  let different =
+    List.exists
+      (fun s -> Robust.Chaos.plan_of_seed s <> p1)
+      [ 1L; 2L; 3L; 4L; 5L ]
+  in
+  Alcotest.(check bool) "some other seed differs" true different;
+  List.iter
+    (fun s ->
+       let p = Robust.Chaos.plan_of_seed s in
+       Alcotest.(check bool) "1-3 arms" true
+         (List.length p.arms >= 1 && List.length p.arms <= 3);
+       List.iter
+         (fun (a : Robust.Chaos.arm) ->
+           Alcotest.(check bool) "positive hit" true (a.at_hit >= 1))
+         p.arms)
+    [ 0L; 9L; 77L; -3L ]
+
+let probe_fires_at_nth_hit () =
+  let plan =
+    { Robust.Chaos.seed = 0L;
+      arms = [ { point = Robust.Chaos.Solver_timeout; at_hit = 3 } ] }
+  in
+  let st = Robust.Chaos.start plan in
+  let m = Robust.Meter.create ~chaos:st Robust.Budget.unlimited in
+  Robust.Meter.probe m Robust.Chaos.Solver_timeout;
+  Robust.Meter.probe m Robust.Chaos.Solver_timeout;
+  Alcotest.(check bool) "not yet" true (st.fired = []);
+  (match Robust.Meter.probe m Robust.Chaos.Solver_timeout with
+   | exception Robust.Chaos.Injected { point; hit } ->
+     Alcotest.(check bool) "right point" true
+       (point = Robust.Chaos.Solver_timeout);
+     Alcotest.(check int) "right hit" 3 hit
+   | () -> Alcotest.fail "3rd hit must inject");
+  Alcotest.(check bool) "recorded" true
+    (st.fired = [ (Robust.Chaos.Solver_timeout, 3) ])
+
+let cancellation_probe_sets_flag () =
+  let plan =
+    { Robust.Chaos.seed = 0L;
+      arms = [ { point = Robust.Chaos.Cancellation; at_hit = 1 } ] }
+  in
+  let st = Robust.Chaos.start plan in
+  let m = Robust.Meter.create ~chaos:st Robust.Budget.unlimited in
+  (* must not raise at the probe... *)
+  Robust.Meter.probe m Robust.Chaos.Cancellation;
+  (* ...but the next checkpoint surfaces it as a typed cancellation *)
+  Alcotest.(check bool) "surfaces at checkpoint" true
+    (exhausted_resource (fun () -> Robust.Meter.checkpoint m)
+     = Some Robust.Meter.Cancelled)
+
+(* ---------------- session rollback ---------------- *)
+
+let v x = Smt.Expr.var ~width:8 x
+let c n = Smt.Expr.const ~width:8 n
+
+let session_rollback_on_budget_fault () =
+  (* cap the interned-node budget so the *second* assertion set trips
+     mid-[set_assertions]: the stack must roll back to the pre-call
+     state and the session stay usable *)
+  let c1 = Smt.Expr.eq (v "x") (c 5L) in
+  let meter =
+    Robust.Meter.create { Robust.Budget.unlimited with expr_nodes = Some 4 }
+  in
+  let s = Smt.Session.create ~meter () in
+  (match Smt.Session.check_assertions s [ c1 ] with
+   | Smt.Session.Sat _ -> ()
+   | _ -> Alcotest.fail "x=5 must be sat");
+  let depth_before = Smt.Session.depth s in
+  let big =
+    Smt.Expr.eq
+      (Smt.Expr.Binop (Add, Smt.Expr.Binop (Mul, v "y", c 3L), c 7L))
+      (c 22L)
+  in
+  (match Smt.Session.check_assertions s [ c1; big ] with
+   | exception Robust.Meter.Exhausted { resource; _ } ->
+     Alcotest.(check bool) "tripped on nodes" true
+       (resource = Robust.Meter.Expr_nodes)
+   | _ -> Alcotest.fail "node budget must trip");
+  Alcotest.(check int) "stack rolled back" depth_before
+    (Smt.Session.depth s);
+  Alcotest.(check bool) "assertions restored" true
+    (Smt.Session.assertions s = [ Smt.Session.intern s c1 ]);
+  (* the session is not poisoned: the old query still solves *)
+  match Smt.Session.check_assertions s [ c1 ] with
+  | Smt.Session.Sat m ->
+    Alcotest.(check bool) "model binds x" true (List.mem_assoc "x" m)
+  | _ -> Alcotest.fail "x=5 must still be sat after the fault"
+
+let session_rollback_on_injected_fault () =
+  (* same regression with a chaos fault firing at check entry, i.e.
+     *after* [set_assertions] already rearranged the stack *)
+  let plan =
+    { Robust.Chaos.seed = 0L;
+      arms = [ { point = Robust.Chaos.Solver_timeout; at_hit = 2 } ] }
+  in
+  let meter =
+    Robust.Meter.create ~chaos:(Robust.Chaos.start plan)
+      Robust.Budget.unlimited
+  in
+  let s = Smt.Session.create ~meter () in
+  let c1 = Smt.Expr.eq (v "x") (c 9L) in
+  let c2 = Smt.Expr.eq (v "y") (c 1L) in
+  (match Smt.Session.check_assertions s [ c1 ] with
+   | Smt.Session.Sat _ -> ()
+   | _ -> Alcotest.fail "first check must pass");
+  let depth_before = Smt.Session.depth s in
+  (match Smt.Session.check_assertions s [ c1; c2 ] with
+   | exception Robust.Chaos.Injected { point; _ } ->
+     Alcotest.(check bool) "solver-timeout injected" true
+       (point = Robust.Chaos.Solver_timeout)
+   | _ -> Alcotest.fail "second check must inject");
+  Alcotest.(check int) "stack rolled back" depth_before
+    (Smt.Session.depth s);
+  (* third probe hit does not fire: the session answers again *)
+  match Smt.Session.check_assertions s [ c1; c2 ] with
+  | Smt.Session.Sat _ -> ()
+  | _ -> Alcotest.fail "session must recover after the injected fault"
+
+(* ---------------- the supervisor ---------------- *)
+
+let bomb = Bombs.Catalog.find
+
+let supervised_matches_bare () =
+  List.iter
+    (fun (tool, name) ->
+       let bare = Engines.Grade.run_cell tool (bomb name) in
+       let sup = Engines.Supervisor.run_cell tool (bomb name) in
+       Alcotest.(check string)
+         (Printf.sprintf "%s on %s" (Engines.Profile.name tool) name)
+         (cell_symbol bare.cell)
+         (cell_symbol sup.graded.cell);
+       Alcotest.(check bool) "no cause" true (sup.cause = None);
+       Alcotest.(check int) "one attempt" 1 sup.attempts)
+    [ (Engines.Profile.Bap, "time_bomb");
+      (Engines.Profile.Triton, "stack_bomb") ]
+
+let budget_trip_grades_e () =
+  let before = Telemetry.Metrics.counter_value "robust.exhausted.vm_steps" in
+  let policy =
+    { Engines.Supervisor.default_policy with
+      budget = { Robust.Budget.unlimited with vm_steps = Some 100 } }
+  in
+  let o =
+    Engines.Supervisor.run_cell ~policy Engines.Profile.Bap (bomb "time_bomb")
+  in
+  Alcotest.(check string) "graded E" "E" (cell_symbol o.graded.cell);
+  Alcotest.(check bool) "cause is vm_steps" true
+    (o.cause = Some (Engines.Supervisor.Exhausted Robust.Meter.Vm_steps));
+  Alcotest.(check bool) "stage is Es1" true (o.stage = Some Es1);
+  Alcotest.(check bool) "diag is State_budget" true
+    (List.mem State_budget o.graded.diags);
+  Alcotest.(check bool) "cause counter bumped" true
+    (Telemetry.Metrics.counter_value "robust.exhausted.vm_steps" > before)
+
+let retry_escalates_and_recovers () =
+  let policy =
+    { Engines.Supervisor.default_policy with
+      budget = { Robust.Budget.unlimited with vm_steps = Some 100 };
+      retries = 1;
+      backoff = 1e5 }
+  in
+  let o =
+    Engines.Supervisor.run_cell ~policy Engines.Profile.Bap (bomb "time_bomb")
+  in
+  Alcotest.(check int) "two attempts" 2 o.attempts;
+  Alcotest.(check bool) "recovered" true (o.cause = None);
+  let bare = Engines.Grade.run_cell Engines.Profile.Bap (bomb "time_bomb") in
+  Alcotest.(check string) "escalated attempt matches bare"
+    (cell_symbol bare.cell)
+    (cell_symbol o.graded.cell)
+
+let cancellation_grades_p () =
+  let policy =
+    { Engines.Supervisor.default_policy with
+      chaos =
+        Some
+          { Robust.Chaos.seed = 0L;
+            arms = [ { point = Robust.Chaos.Cancellation; at_hit = 1 } ] } }
+  in
+  let o =
+    Engines.Supervisor.run_cell ~policy Engines.Profile.Triton
+      (bomb "stack_bomb")
+  in
+  Alcotest.(check string) "graded P" "P" (cell_symbol o.graded.cell);
+  Alcotest.(check bool) "cause is cancellation" true
+    (o.cause = Some (Engines.Supervisor.Exhausted Robust.Meter.Cancelled));
+  Alcotest.(check int) "never retried" 1 o.attempts
+
+let injected_solver_timeout_grades_e () =
+  let policy =
+    { Engines.Supervisor.default_policy with
+      chaos =
+        Some
+          { Robust.Chaos.seed = 0L;
+            arms = [ { point = Robust.Chaos.Solver_timeout; at_hit = 1 } ] } }
+  in
+  let o =
+    Engines.Supervisor.run_cell ~policy Engines.Profile.Triton
+      (bomb "stack_bomb")
+  in
+  Alcotest.(check string) "graded E" "E" (cell_symbol o.graded.cell);
+  Alcotest.(check bool) "cause is injection" true
+    (o.cause
+     = Some (Engines.Supervisor.Injected Robust.Chaos.Solver_timeout));
+  Alcotest.(check bool) "stage is Es3" true (o.stage = Some Es3);
+  Alcotest.(check bool) "fault recorded" true
+    (o.fired = [ (Robust.Chaos.Solver_timeout, 1) ])
+
+(* ---------------- budget determinism ---------------- *)
+
+let det_bombs () =
+  List.map bomb [ "time_bomb"; "argvlen_bomb"; "stack_bomb" ]
+
+let det_tools = [ Engines.Profile.Bap; Engines.Profile.Triton ]
+
+let symbols (r : Engines.Eval.table2_result) =
+  List.map (fun (c : Engines.Eval.cell_result) -> cell_symbol c.measured)
+    r.cells
+
+(* vm/lift caps are mode-invariant (unlike conflict caps, where the
+   incremental session's learned clauses legitimately change how many
+   conflicts a query needs), so they are the budgets both determinism
+   tests pin *)
+let tripping_policy =
+  { Engines.Supervisor.default_policy with
+    budget = { Robust.Budget.unlimited with vm_steps = Some 150 } }
+
+let grades_deterministic_across_runs () =
+  let run () =
+    Engines.Eval.run_table2 ~policy:tripping_policy ~tools:det_tools
+      ~bombs:(det_bombs ()) ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (list string)) "byte-identical grades across two runs"
+    (symbols a) (symbols b);
+  (* the budget is small enough to actually degrade at least one cell
+     — otherwise this test would only cover the clean path *)
+  Alcotest.(check bool) "at least one cell degraded" true
+    (List.exists
+       (fun (c : Engines.Eval.cell_result) ->
+          c.robust.Engines.Supervisor.cause <> None)
+       a.cells)
+
+let modes_agree_under_budget () =
+  let run incremental =
+    Engines.Eval.run_table2 ~incremental ~policy:tripping_policy
+      ~tools:det_tools ~bombs:(det_bombs ()) ()
+  in
+  Alcotest.(check (list string)) "incremental = one-shot under budget"
+    (symbols (run true))
+    (symbols (run false))
+
+(* ---------------- the soak ---------------- *)
+
+let soak_contains_every_fault () =
+  let r =
+    Engines.Supervisor.soak ~tools:[ Engines.Profile.Bap ]
+      ~bombs:[ "time_bomb"; "argvlen_bomb" ] ~seed:42L ~plans:50 ()
+  in
+  Alcotest.(check int) "ran 100 chaos cells" 100 r.cells_run;
+  Alcotest.(check bool) "faults actually fired" true (r.faults_fired > 0);
+  Alcotest.(check (list string)) "zero violations" [] r.violations;
+  Alcotest.(check bool) "baseline stable" true r.baseline_stable;
+  Alcotest.(check bool) "contained" true (Engines.Supervisor.contained r);
+  Alcotest.(check int) "every chaos cell accounted" r.cells_run
+    (r.degraded_e + r.degraded_p + r.clean)
+
+let () =
+  Alcotest.run "robust"
+    [ ("budget",
+       [ Alcotest.test_case "parse" `Quick budget_parse;
+         Alcotest.test_case "scale" `Quick budget_scale;
+         Alcotest.test_case "meter trips" `Quick meter_trips;
+         Alcotest.test_case "cancellation" `Quick meter_cancellation;
+         Alcotest.test_case "ambient install/restore" `Quick meter_ambient ]);
+      ("chaos",
+       [ Alcotest.test_case "plans deterministic" `Quick plan_deterministic;
+         Alcotest.test_case "probe fires at nth hit" `Quick
+           probe_fires_at_nth_hit;
+         Alcotest.test_case "cancellation sets flag" `Quick
+           cancellation_probe_sets_flag ]);
+      ("session",
+       [ Alcotest.test_case "rollback on budget fault" `Quick
+           session_rollback_on_budget_fault;
+         Alcotest.test_case "rollback on injected fault" `Quick
+           session_rollback_on_injected_fault ]);
+      ("supervisor",
+       [ Alcotest.test_case "default = bare engine" `Quick
+           supervised_matches_bare;
+         Alcotest.test_case "budget trip -> E" `Quick budget_trip_grades_e;
+         Alcotest.test_case "retry escalates" `Quick
+           retry_escalates_and_recovers;
+         Alcotest.test_case "cancellation -> P" `Quick cancellation_grades_p;
+         Alcotest.test_case "injected timeout -> E" `Quick
+           injected_solver_timeout_grades_e ]);
+      ("determinism",
+       [ Alcotest.test_case "same budget, same grades" `Quick
+           grades_deterministic_across_runs;
+         Alcotest.test_case "incremental agrees one-shot" `Quick
+           modes_agree_under_budget ]);
+      ("soak",
+       [ Alcotest.test_case "50 plans contained" `Quick
+           soak_contains_every_fault ]) ]
