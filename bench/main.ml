@@ -290,11 +290,39 @@ let robust_report () =
     Engines.Supervisor.soak ~tools:[ Engines.Profile.Bap ]
       ~bombs:[ "time_bomb"; "argvlen_bomb" ] ~seed:42L ~plans:25 ()
   in
+  (* write-ahead journal: what appending costs an executing run, and
+     what replaying a complete journal saves over re-running *)
+  let journal_fresh, journal_write, journal_replay =
+    let tools = [ Engines.Profile.Bap; Engines.Profile.Triton ] in
+    let bombs =
+      List.map bomb [ "time_bomb"; "argvlen_bomb"; "stack_bomb" ]
+    in
+    let path = Filename.temp_file "bench_journal" ".jsonl" in
+    let journal =
+      { Engines.Eval.journal_path = path; kill_after = None;
+        kill_torn = false }
+    in
+    let fresh = time (fun () -> Engines.Eval.run_table2 ~tools ~bombs ()) in
+    let write =
+      time (fun () ->
+          if Sys.file_exists path then Sys.remove path;
+          Engines.Eval.run_table2 ~tools ~bombs ~journal ())
+    in
+    (* the journal is now complete: further runs replay every cell *)
+    let replay =
+      time (fun () -> Engines.Eval.run_table2 ~tools ~bombs ~journal ())
+    in
+    if Sys.file_exists path then Sys.remove path;
+    (fresh, write, replay)
+  in
   let json =
     Printf.sprintf
-      "{\n  \"supervisor_overhead\": [\n%s\n  ],\n  \"soak\": {\"seed\": %Ld, \
-       \"plans\": %d, \"cells\": %d, \"faults_fired\": %d, \"graded_e\": %d, \
-       \"graded_p\": %d, \"contained\": %b}\n}\n"
+      "{\n  \"supervisor_overhead\": [\n%s\n  ],\n  \"journal\": \
+       {\"workload\": \"table2/2x3_cells\", \"fresh_wall_s\": %.6f, \
+       \"write_wall_s\": %.6f, \"write_overhead_pct\": %.2f, \
+       \"replay_wall_s\": %.6f, \"replay_speedup\": %.1f},\n  \"soak\": \
+       {\"seed\": %Ld, \"plans\": %d, \"cells\": %d, \"faults_fired\": %d, \
+       \"graded_e\": %d, \"graded_p\": %d, \"contained\": %b}\n}\n"
       (String.concat ",\n"
          (List.map
             (fun (name, bare, supervised) ->
@@ -304,6 +332,10 @@ let robust_report () =
                  name bare supervised
                  (100. *. (supervised -. bare) /. bare))
             cells))
+      journal_fresh journal_write
+      (100. *. (journal_write -. journal_fresh) /. journal_fresh)
+      journal_replay
+      (journal_fresh /. journal_replay)
       soak.seed soak.plans soak.cells_run soak.faults_fired soak.degraded_e
       soak.degraded_p
       (Engines.Supervisor.contained soak)
@@ -319,6 +351,13 @@ let robust_report () =
          (supervised *. 1e3)
          (100. *. (supervised -. bare) /. bare))
     cells;
+  Printf.printf
+    "journal: fresh %.3f ms, write %.3f ms (%+.2f%%), replay %.3f ms \
+     (%.0fx)\n"
+    (journal_fresh *. 1e3) (journal_write *. 1e3)
+    (100. *. (journal_write -. journal_fresh) /. journal_fresh)
+    (journal_replay *. 1e3)
+    (journal_fresh /. journal_replay);
   Printf.printf
     "soak: %d cells, %d faults fired (E: %d, P: %d), contained: %b\n"
     soak.cells_run soak.faults_fired soak.degraded_e soak.degraded_p

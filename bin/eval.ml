@@ -30,8 +30,12 @@ let parse_policy budget_spec retries backoff =
   in
   { Engines.Supervisor.default_policy with budget; retries; backoff }
 
-let run_table2 no_incremental budget_spec retries backoff tools_filter
-    bombs_filter =
+(* a simulated crash (--kill-after) must look like a death, not a
+   clean exit: distinctive code, no table output *)
+let kill_exit_code = 9
+
+let run_table2_common ~require_journal no_incremental no_ladder budget_spec
+    retries backoff tools_filter bombs_filter journal kill_after kill_torn =
   let tools = parse_tools tools_filter in
   let bombs =
     match bombs_filter with
@@ -39,11 +43,47 @@ let run_table2 no_incremental budget_spec retries backoff tools_filter
     | names -> List.map Bombs.Catalog.find names
   in
   let policy = parse_policy budget_spec retries backoff in
-  let r =
-    Engines.Eval.run_table2 ~incremental:(not no_incremental) ~policy ~tools
-      ~bombs ()
+  let ladder = if no_ladder then Some [] else None in
+  let journal =
+    match journal with
+    | None ->
+      if require_journal then begin
+        Printf.eprintf "resume requires --journal PATH\n";
+        exit 2
+      end;
+      if kill_after <> None || kill_torn then begin
+        Printf.eprintf "--kill-after/--kill-torn require --journal\n";
+        exit 2
+      end;
+      None
+    | Some path ->
+      if require_journal && not (Sys.file_exists path) then begin
+        Printf.eprintf
+          "resume: journal %s does not exist (nothing to resume)\n" path;
+        exit 2
+      end;
+      Some
+        { Engines.Eval.journal_path = path; kill_after; kill_torn }
   in
-  print_string (Engines.Eval.render_table2 r)
+  match
+    Engines.Eval.run_table2 ~incremental:(not no_incremental) ?ladder ~policy
+      ~tools ~bombs ?journal ()
+  with
+  | r -> print_string (Engines.Eval.render_table2 r)
+  | exception Engines.Eval.Simulated_crash ->
+    Printf.eprintf "simulated crash after --kill-after cells\n";
+    exit kill_exit_code
+
+let run_table2 no_incremental no_ladder budget_spec retries backoff
+    tools_filter bombs_filter journal kill_after kill_torn =
+  run_table2_common ~require_journal:false no_incremental no_ladder
+    budget_spec retries backoff tools_filter bombs_filter journal kill_after
+    kill_torn
+
+let run_resume no_incremental no_ladder budget_spec retries backoff
+    tools_filter bombs_filter journal =
+  run_table2_common ~require_journal:true no_incremental no_ladder budget_spec
+    retries backoff tools_filter bombs_filter journal None false
 
 let run_fig3 () =
   let r = Engines.Eval.run_fig3 () in
@@ -126,11 +166,25 @@ let run_chaos no_incremental seed plans tools_filter bombs_filter verbose =
            Printf.printf "  %-32s %d\n" name n
          | _ -> ())
     (Telemetry.Metrics.snapshot ());
-  if not (Engines.Supervisor.contained report) then exit 1
+  (* CI gate: a containment violation — or a soak that injected
+     nothing at all, which would make the gate vacuous — fails the
+     run with a nonzero exit *)
+  if not (Engines.Supervisor.contained report) then begin
+    Printf.eprintf "chaos: containment check FAILED\n";
+    exit 1
+  end;
+  if plans > 0 && report.Engines.Supervisor.faults_fired = 0 then begin
+    Printf.eprintf
+      "chaos: %d plans fired no faults — soak did not exercise \
+       containment\n"
+      plans;
+    exit 1
+  end
 
 (* --explain: run one cell under span tracing, print the Es-stage
    diagnosis, then render/dump the trace through the chosen sinks *)
-let run_explain no_incremental bomb_name tool_name sinks trace_out jsonl_out =
+let run_explain no_incremental no_ladder budget_spec bomb_name tool_name sinks
+    trace_out jsonl_out =
   match Bombs.Catalog.find_opt bomb_name with
   | None ->
     Printf.eprintf "unknown bomb %S (see `eval sizes` for the catalog)\n"
@@ -159,8 +213,19 @@ let run_explain no_incremental bomb_name tool_name sinks trace_out jsonl_out =
                exit 2)
           names
     in
+    let budget =
+      Option.map
+        (fun spec ->
+           match Robust.Budget.parse spec with
+           | Ok b -> b
+           | Error e ->
+             Printf.eprintf "bad --budget: %s\n" e;
+             exit 2)
+        budget_spec
+    in
     let r =
-      Engines.Explain.run ~incremental:(not no_incremental) tool bomb
+      Engines.Explain.run ~incremental:(not no_incremental)
+        ?ladder:(if no_ladder then Some [] else None) ?budget tool bomb
     in
     print_string (Engines.Explain.render r);
     List.iter
@@ -241,6 +306,38 @@ let retries_arg =
            "Retry a budget-tripped cell this many times with the \
             budget scaled by --backoff each time")
 
+let no_ladder_arg =
+  Arg.(value & flag
+       & info [ "no-ladder" ]
+         ~doc:
+           "Disable the solver degradation ladder: a budget tripped \
+            mid-check aborts the cell (graded E) instead of retrying \
+            the query down cheaper bounded strategies (graded P)")
+
+let journal_arg =
+  Arg.(value & opt (some string) None
+       & info [ "journal" ] ~docv:"PATH"
+         ~doc:
+           "Write-ahead cell journal: append every completed cell as \
+            a checksummed record, and replay valid records matching \
+            this run's fingerprint instead of re-running their cells")
+
+let kill_after_arg =
+  Arg.(value & opt (some int) None
+       & info [ "kill-after" ] ~docv:"N"
+         ~doc:
+           "Simulate a crash: die (exit 9) after N cells have been \
+            freshly executed and journaled (requires --journal; \
+            replayed cells do not count)")
+
+let kill_torn_arg =
+  Arg.(value & flag
+       & info [ "kill-torn" ]
+         ~doc:
+           "With --kill-after, first write a deliberately torn record \
+            (a death mid-append) that the resuming run must detect \
+            and skip")
+
 let backoff_arg =
   Arg.(value & opt float 10.0
        & info [ "backoff" ]
@@ -248,8 +345,20 @@ let backoff_arg =
 
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II")
-    Term.(const run_table2 $ no_incremental_arg $ budget_arg $ retries_arg
-          $ backoff_arg $ tools_arg $ bombs_arg)
+    Term.(const run_table2 $ no_incremental_arg $ no_ladder_arg $ budget_arg
+          $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
+          $ kill_after_arg $ kill_torn_arg)
+
+let resume_cmd =
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue a partially-journaled Table II run after a crash: \
+          replay every journaled cell, execute only the missing ones \
+          (requires --journal, with the same flags as the interrupted \
+          run so the fingerprints match)")
+    Term.(const run_resume $ no_incremental_arg $ no_ladder_arg $ budget_arg
+          $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg)
 
 let chaos_cmd =
   let seed_arg =
@@ -298,7 +407,7 @@ let all_cmd =
     print_newline ();
     run_sizes ();
     print_newline ();
-    run_table2 false None 0 10.0 [] [];
+    run_table2 false false None 0 10.0 [] [] None None false;
     print_newline ();
     run_fig3 ();
     print_newline ();
@@ -349,20 +458,22 @@ let explain_term =
          & info [ "jsonl-out" ] ~docv:"FILE"
            ~doc:"Write the recorded spans as JSONL")
   in
-  let run no_incremental bomb tool sinks trace_out jsonl_out =
+  let run no_incremental no_ladder budget bomb tool sinks trace_out jsonl_out =
     match bomb with
     | Some bomb_name ->
-      run_explain no_incremental bomb_name tool sinks trace_out jsonl_out;
+      run_explain no_incremental no_ladder budget bomb_name tool sinks
+        trace_out jsonl_out;
       `Ok ()
     | None -> `Help (`Pager, None)
   in
   Term.(ret
-          (const run $ no_incremental_arg $ explain_arg $ tool_arg
-           $ sink_arg $ trace_out_arg $ jsonl_out_arg))
+          (const run $ no_incremental_arg $ no_ladder_arg $ budget_arg
+           $ explain_arg $ tool_arg $ sink_arg $ trace_out_arg
+           $ jsonl_out_arg))
 
 let () =
   let info = Cmd.info "eval" ~doc:"Logic-bomb evaluation harness" in
   exit (Cmd.eval (Cmd.group ~default:explain_term info
-                    [ table1_cmd; table2_cmd; fig3_cmd; sizes_cmd;
-                      negative_cmd; validate_trace_cmd; chaos_cmd;
-                      all_cmd ]))
+                    [ table1_cmd; table2_cmd; resume_cmd; fig3_cmd;
+                      sizes_cmd; negative_cmd; validate_trace_cmd;
+                      chaos_cmd; all_cmd ]))

@@ -198,6 +198,11 @@ let explore ?(seed = "5") (config : config) (target : target) : verdict =
        end
      done
    with Exit -> ());
+  (* surface degradation-ladder outcomes as diags so grading and
+     --explain can attribute a P (degraded) cell to its rung *)
+  List.iter
+    (fun rung -> diags := Error.Solver_degraded rung :: !diags)
+    (Smt.Stats.degraded_rungs stats);
   { solved_input = !solved;
     iterations = !iterations;
     traces_run = !traces;

@@ -698,6 +698,11 @@ let explore ?goal_symbol:(goal = "bomb") (config : config)
   Telemetry.Metrics.add m_dse_steps t.total_steps;
   Telemetry.Metrics.add m_dse_states t.spawned;
   Telemetry.Metrics.add m_dse_forks t.forks;
+  (* surface degradation-ladder outcomes as diags so grading and
+     --explain can attribute a P (degraded) cell to its rung *)
+  List.iter
+    (fun rung -> t.all_diags <- Error.Solver_degraded rung :: t.all_diags)
+    (Smt.Stats.degraded_rungs t.stats);
   { claims = List.rev !claims;
     reached_goal = !reached;
     explored_states = t.spawned;

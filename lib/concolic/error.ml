@@ -60,6 +60,9 @@ type diag =
   | State_budget
       (** DSE exhausted its step/state budget before reaching the goal *)
   | Engine_crash of string
+  | Solver_degraded of string
+      (** a budget-tripped check was answered by the named degradation
+          rung instead of failing the cell (see {!Smt.Degrade}) *)
 [@@deriving show { with_path = false }, eq, ord]
 
 let has d diags = List.exists (equal_diag d) diags
@@ -79,3 +82,9 @@ let has_unconstrained_data diags =
 
 let has_crash diags =
   List.exists (function Engine_crash _ -> true | _ -> false) diags
+
+(** Degradation-ladder rungs recorded for this cell, in diag order. *)
+let degraded_rungs diags =
+  List.filter_map (function Solver_degraded r -> Some r | _ -> None) diags
+
+let has_degraded diags = degraded_rungs diags <> []

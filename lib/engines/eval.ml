@@ -24,8 +24,9 @@ type table2_result = {
 (** One supervised cell.  With the default policy (no budgets, no
     chaos) the measured cell is exactly {!Grade.run_cell}'s — the
     supervisor only isolates crashes. *)
-let run_cell ?incremental ?policy tool (bomb : Bombs.Common.t) : cell_result =
-  let robust = Supervisor.run_cell ?incremental ?policy tool bomb in
+let run_cell ?incremental ?ladder ?policy tool (bomb : Bombs.Common.t) :
+  cell_result =
+  let robust = Supervisor.run_cell ?incremental ?ladder ?policy tool bomb in
   { tool;
     bomb = bomb.name;
     measured = robust.graded.cell;
@@ -33,13 +34,121 @@ let run_cell ?incremental ?policy tool (bomb : Bombs.Common.t) : cell_result =
     graded = robust.graded;
     robust }
 
-let run_table2 ?incremental ?policy ?(tools = Profile.all)
-    ?(bombs = Bombs.Catalog.table2) () : table2_result =
+(* ------------------------------------------------------------------ *)
+(* Write-ahead cell journal                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Journal-backed execution of Table II (see {!Robust.Journal}).
+    [kill_after] simulates a crash: after that many cells have been
+    freshly executed (journaled replays do not count), the run raises
+    {!Simulated_crash} — with [kill_torn], after first writing a
+    deliberately torn record, modelling a death mid-append. *)
+type journal = {
+  journal_path : string;
+  kill_after : int option;
+  kill_torn : bool;
+}
+
+exception Simulated_crash
+
+let cell_key tool (bomb : Bombs.Common.t) =
+  Profile.name tool ^ "/" ^ bomb.name
+
+(** Run fingerprint: any component changing (tool set, bomb catalog
+    content, budget/retry/chaos policy, incremental flag, ladder
+    shape) makes previously journaled cells stale. *)
+let journal_fingerprint ?incremental ?ladder ?policy ~tools ~bombs () =
+  let policy = Option.value ~default:Supervisor.default_policy policy in
+  let ladder =
+    Option.value ~default:Smt.Degrade.default_ladder ladder
+  in
+  Robust.Journal.fingerprint
+    ([ "table2"; Printf.sprintf "incremental=%b"
+         (Option.value ~default:true incremental);
+       "ladder=" ^ Smt.Degrade.ladder_to_string ladder;
+       "budget=" ^ Robust.Budget.to_string policy.Supervisor.budget;
+       Printf.sprintf "retries=%d" policy.Supervisor.retries;
+       Printf.sprintf "backoff=%g" policy.Supervisor.backoff;
+       (match policy.Supervisor.chaos with
+        | None -> "chaos=none"
+        | Some p -> Format.asprintf "chaos=%a" Robust.Chaos.pp_plan p) ]
+     @ List.map Profile.name tools
+     @ List.concat_map
+         (fun (b : Bombs.Common.t) ->
+            [ b.name; b.category; Asm.Image.to_bytes (Bombs.Catalog.image b) ])
+         bombs)
+
+let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
+    ?(bombs = Bombs.Catalog.table2) ?journal () : table2_result =
+  let cell_of_outcome tool (bomb : Bombs.Common.t) (o : Supervisor.outcome) =
+    { tool;
+      bomb = bomb.name;
+      measured = o.Supervisor.graded.cell;
+      expected = Paper.expected bomb.name tool;
+      graded = o.Supervisor.graded;
+      robust = o }
+  in
+  let run_journaled (jc : journal) =
+    let fp = journal_fingerprint ?incremental ?ladder ?policy ~tools ~bombs () in
+    let loaded = Robust.Journal.load ~fingerprint:fp jc.journal_path in
+    let replayable : (string, Supervisor.outcome) Hashtbl.t =
+      Hashtbl.create 128
+    in
+    List.iter
+      (fun (e : Robust.Journal.entry) ->
+         match Journal_codec.decode_outcome e.cell with
+         | Some o -> Hashtbl.replace replayable e.key o
+         | None ->
+             Robust.Journal.count_undecodable ();
+             Telemetry.Log.warnf
+               "journal: record for %s does not decode; cell will re-run"
+               e.key)
+      loaded.entries;
+    let w =
+      Robust.Journal.open_writer ~fingerprint:fp ~seq:loaded.next_seq
+        jc.journal_path
+    in
+    let executed = ref 0 in
+    let cells =
+      List.concat_map
+        (fun bomb ->
+           List.map
+             (fun tool ->
+                let key = cell_key tool bomb in
+                match Hashtbl.find_opt replayable key with
+                | Some o ->
+                    Robust.Journal.count_replayed ();
+                    cell_of_outcome tool bomb o
+                | None ->
+                    (match jc.kill_after with
+                     | Some k when !executed >= k ->
+                         (* simulated crash: die before this cell runs,
+                            optionally mid-append of its record *)
+                         if jc.kill_torn then
+                           Robust.Journal.append_torn w ~key;
+                         raise Simulated_crash
+                     | _ -> ());
+                    let r = run_cell ?incremental ?ladder ?policy tool bomb in
+                    Robust.Journal.append w ~key
+                      ~payload:(Journal_codec.encode_outcome r.robust);
+                    incr executed;
+                    r)
+             tools)
+        bombs
+    in
+    Robust.Journal.close_writer w;
+    cells
+  in
   let cells =
-    List.concat_map
-      (fun bomb ->
-         List.map (fun tool -> run_cell ?incremental ?policy tool bomb) tools)
-      bombs
+    match journal with
+    | Some jc -> run_journaled jc
+    | None ->
+        List.concat_map
+          (fun bomb ->
+             List.map
+               (fun tool -> run_cell ?incremental ?ladder ?policy tool bomb)
+               tools)
+          bombs
   in
   let solved =
     List.map

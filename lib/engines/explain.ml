@@ -83,13 +83,42 @@ let mark_stage stage =
 (** Run the cell with tracing enabled and attribute the outcome.
     Spans and metrics are reset first and left in place afterwards so
     the caller can render or dump them through any sink; the previous
-    tracing enablement is restored. *)
-let run ?incremental (tool : Profile.tool) (bomb : Bombs.Common.t) : t =
+    tracing enablement is restored.
+
+    [budget] meters the cell like a supervised run would, so a
+    diagnosis can reproduce budget-tripped behaviour — including the
+    degradation-ladder rungs — for one cell in isolation. *)
+let run ?incremental ?ladder ?budget (tool : Profile.tool)
+    (bomb : Bombs.Common.t) : t =
   let was_enabled = Telemetry.is_enabled () in
   Telemetry.reset ();
   Telemetry.Metrics.reset ();
   Telemetry.enable ();
-  let graded = Grade.run_cell ?incremental tool bomb in
+  let bare () = Grade.run_cell ?incremental ?ladder tool bomb in
+  let graded =
+    match budget with
+    | None -> bare ()
+    | Some b -> (
+        let meter = Robust.Meter.create b in
+        match Robust.Meter.with_ambient meter bare with
+        | g -> g
+        | exception Robust.Meter.Exhausted { resource; _ } ->
+          (* mirror the supervisor's degraded-cell grading so the
+             explained cell matches what Table II would print *)
+          let diag =
+            match resource with
+            | Robust.Meter.Solver_conflicts | Robust.Meter.Expr_nodes ->
+              Solver_budget
+            | Robust.Meter.Cancelled -> Engine_crash "cancelled"
+            | _ -> State_budget
+          in
+          { Grade.cell =
+              (if resource = Robust.Meter.Cancelled then Partial
+               else Abnormal);
+            proposed = None; detonated = false; false_positive = false;
+            diags = [ diag ];
+            work = meter.Robust.Meter.vm_steps })
+  in
   if not was_enabled then Telemetry.disable ();
   let stage = stage_of_cell graded.cell in
   (match stage with Some s -> mark_stage s | None -> ());
@@ -118,6 +147,14 @@ let render (r : t) =
    | diags ->
      pr "  engine diagnostics:\n";
      List.iter (fun d -> pr "    - %s\n" (show_diag d)) diags);
+  (match degraded_rungs r.graded.diags with
+   | [] -> ()
+   | rungs ->
+     pr "  solver degradation: budget-tripped checks were decided by \
+        ladder rung%s %s; a supervised run grades this cell P \
+        (degraded)\n"
+       (if List.length rungs > 1 then "s" else "")
+       (String.concat ", " rungs));
   pr "  span tree (! marks the attributed stage):\n";
   String.split_on_char '\n' (Telemetry.render_tree ())
   |> List.iter (fun line -> if line <> "" then pr "    %s\n" line);

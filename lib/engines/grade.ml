@@ -105,8 +105,8 @@ let m_cell_wall = Telemetry.Metrics.histogram "eval.cell_wall_us"
 (** Run one tool on one bomb, end to end.  [incremental] selects
     between session-based and one-shot solving in the engine; the
     derived cell must not depend on it. *)
-let run_cell ?incremental (tool : Profile.tool) (bomb : Bombs.Common.t) :
-  graded =
+let run_cell ?incremental ?ladder (tool : Profile.tool)
+    (bomb : Bombs.Common.t) : graded =
   Telemetry.with_span "cell" @@ fun () ->
   Telemetry.annotate "tool" (Profile.name tool);
   Telemetry.annotate "bomb" bomb.name;
@@ -121,14 +121,16 @@ let run_cell ?incremental (tool : Profile.tool) (bomb : Bombs.Common.t) :
     | Profile.Bap ->
       (* driven from the triggering input (the paper's methodology) *)
       let seed = Bombs.Common.winning_argv bomb in
-      Profile.run_bap ?incremental ~image ~run_config ~seed ()
+      Profile.run_bap ?incremental ?ladder ~image ~run_config ~seed ()
     | Profile.Triton ->
-      Profile.run_triton ?incremental ~image ~run_config ~detonated
+      Profile.run_triton ?incremental ?ladder ~image ~run_config ~detonated
         ~seed:bomb.decoy ()
     | Profile.Angr ->
-      Profile.run_angr ?incremental ~mode:Concolic.Dse.With_libs ~image ()
+      Profile.run_angr ?incremental ?ladder ~mode:Concolic.Dse.With_libs
+        ~image ()
     | Profile.Angr_nolib ->
-      Profile.run_angr ?incremental ~mode:Concolic.Dse.No_libs ~image ()
+      Profile.run_angr ?incremental ?ladder ~mode:Concolic.Dse.No_libs
+        ~image ()
   in
   let g = grade bomb attempt in
   Telemetry.Metrics.observe m_cell_wall

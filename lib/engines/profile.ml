@@ -75,13 +75,19 @@ let input_of_model ~width (model : Smt.Solver.model) =
   | Some i -> String.sub s 0 i
   | None -> s
 
-let run_bap ?(incremental = true) ~(image : Asm.Image.t)
-    ~(run_config : string -> Vm.Machine.config) ~(seed : string) () : attempt =
+let run_bap ?(incremental = true) ?(ladder = Smt.Degrade.default_ladder)
+    ~(image : Asm.Image.t) ~(run_config : string -> Vm.Machine.config)
+    ~(seed : string) () : attempt =
+  let solver_config = { solver_config with ladder } in
+  (* one accumulator across session and one-shot solves, so
+     degradation-ladder outcomes surface as diags either way *)
+  let stats = Smt.Stats.create () in
   (* one trace, one query: the session buys no cross-query reuse here,
      but attaching it lets replay intern constraints as they are
      recorded, so the final solve starts with warm memo tables *)
   let session =
-    if incremental then Some (Smt.Session.create ~config:solver_config ())
+    if incremental then
+      Some (Smt.Session.create ~config:solver_config ~stats ())
     else None
   in
   let trace =
@@ -107,7 +113,7 @@ let run_bap ?(incremental = true) ~(image : Asm.Image.t)
       match
         (match session with
          | Some sess -> Smt.Session.check_assertions sess cs
-         | None -> Smt.Solver.solve ~config:solver_config cs)
+         | None -> Smt.Solver.solve ~config:solver_config ~stats cs)
       with
       | Smt.Solver.Sat model ->
         (Some (input_of_model ~width:(String.length seed) model), [])
@@ -116,8 +122,13 @@ let run_bap ?(incremental = true) ~(image : Asm.Image.t)
         (None, [ Concolic.Error.Fp_constraint ])
       | Smt.Solver.Unknown _ -> (None, [ Concolic.Error.Solver_budget ])
     in
+    let degraded =
+      List.map
+        (fun r -> Concolic.Error.Solver_degraded r)
+        (Smt.Stats.degraded_rungs stats)
+    in
     { proposed;
-      diags = extra @ path.diags;
+      diags = degraded @ extra @ path.diags;
       crashed = false;
       budget_exhausted =
         List.exists (fun d -> d = Concolic.Error.Solver_budget) extra;
@@ -130,12 +141,12 @@ let run_bap ?(incremental = true) ~(image : Asm.Image.t)
 (* Triton-like: concolic exploration from a neutral seed              *)
 (* ------------------------------------------------------------------ *)
 
-let run_triton ?(incremental = true) ~(image : Asm.Image.t)
-    ~(run_config : string -> Vm.Machine.config)
+let run_triton ?(incremental = true) ?(ladder = Smt.Degrade.default_ladder)
+    ~(image : Asm.Image.t) ~(run_config : string -> Vm.Machine.config)
     ~(detonated : Vm.Machine.run_result -> bool) ~(seed : string) () : attempt =
   let config =
     { (Concolic.Driver.default_config Concolic.Trace_exec.triton_like_config)
-      with solver = solver_config; incremental }
+      with solver = { solver_config with ladder }; incremental }
   in
   let target =
     { Concolic.Driver.image; run_config; detonated }
@@ -154,9 +165,12 @@ let run_triton ?(incremental = true) ~(image : Asm.Image.t)
 (* Angr-like: directed DSE                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_angr ?(incremental = true) ~(mode : Concolic.Dse.mode)
-    ~(image : Asm.Image.t) () : attempt =
-  let config = { (Concolic.Dse.default_config mode) with incremental } in
+let run_angr ?(incremental = true) ?(ladder = Smt.Degrade.default_ladder)
+    ~(mode : Concolic.Dse.mode) ~(image : Asm.Image.t) () : attempt =
+  let base = Concolic.Dse.default_config mode in
+  let config =
+    { base with incremental; solver = { base.solver with ladder } }
+  in
   match Concolic.Dse.explore config image with
   | outcome ->
     let proposed =

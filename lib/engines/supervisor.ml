@@ -17,11 +17,16 @@ type cause =
   | Exhausted of Robust.Meter.resource  (** typed budget trip *)
   | Injected of Robust.Chaos.point  (** chaos fault (never retried) *)
   | Crashed of string  (** unexpected exception *)
+  | Degraded of string
+      (** the cell completed, but only because the solver degradation
+          ladder answered budget-tripped checks; names the deepest
+          rung that fired (see {!Smt.Degrade}) *)
 
 let cause_name = function
   | Exhausted r -> "exhausted:" ^ Robust.Meter.resource_name r
   | Injected p -> "injected:" ^ Robust.Chaos.point_name p
   | Crashed _ -> "crash"
+  | Degraded rung -> "degraded:" ^ rung
 
 type policy = {
   budget : Robust.Budget.t;  (** caps for the first attempt *)
@@ -66,12 +71,14 @@ let stage_of_cause = function
   | Exhausted r -> Explain.stage_of_resource r
   | Injected p -> Explain.stage_of_point p
   | Crashed _ -> None
+  | Degraded _ -> Some Es3  (* constraint modeling, like a solver trip *)
 
 (** A cancelled cell is a partial result ([P]); every other cause is
     an abnormal exit ([E]), matching the paper's reading of tool
     deaths vs interrupted-but-salvageable runs. *)
 let cell_of_cause = function
   | Exhausted Robust.Meter.Cancelled -> Partial
+  | Degraded _ -> Partial
   | Exhausted _ | Injected _ | Crashed _ -> Abnormal
 
 let diag_of_cause = function
@@ -81,16 +88,33 @@ let diag_of_cause = function
   | Exhausted _ -> State_budget
   | Injected p -> Engine_crash ("injected:" ^ Robust.Chaos.point_name p)
   | Crashed msg -> Engine_crash msg
+  | Degraded rung -> Solver_degraded rung
 
 let retryable = function
   | Exhausted Robust.Meter.Cancelled -> false  (* cancellation is final *)
   | Exhausted _ -> true
+  | Degraded _ -> true  (* an escalated budget may decide it cleanly *)
   | Injected _ | Crashed _ -> false
+
+(* deepest ladder rung recorded for a cell: a give-up outranks an
+   enumeration outranks a resimplification *)
+let rung_depth = function
+  | "resimplify" -> 0
+  | "enumerate" -> 1
+  | _ -> 2 (* give_up *)
+
+let deepest_rung = function
+  | [] -> None
+  | rungs ->
+      Some
+        (List.fold_left
+           (fun best r -> if rung_depth r > rung_depth best then r else best)
+           (List.hd rungs) (List.tl rungs))
 
 (** Supervised version of {!Grade.run_cell}.  With {!default_policy}
     the graded result is exactly what the bare engine produces. *)
-let run_cell ?incremental ?(policy = default_policy) (tool : Profile.tool)
-    (bomb : Bombs.Common.t) : outcome =
+let run_cell ?incremental ?ladder ?(policy = default_policy)
+    (tool : Profile.tool) (bomb : Bombs.Common.t) : outcome =
   Telemetry.Metrics.incr m_cells;
   let rec attempt n budget =
     (* fresh chaos hit-state per attempt: a retried cell replays the
@@ -100,10 +124,27 @@ let run_cell ?incremental ?(policy = default_policy) (tool : Profile.tool)
     let fired () = match chaos with Some st -> st.fired | None -> [] in
     match
       Robust.Meter.with_ambient meter (fun () ->
-          Grade.run_cell ?incremental tool bomb)
+          Grade.run_cell ?incremental ?ladder tool bomb)
     with
-    | graded ->
-        { graded; cause = None; stage = None; attempts = n; fired = fired () }
+    | graded -> (
+        match deepest_rung (degraded_rungs graded.diags) with
+        | None ->
+            { graded; cause = None; stage = None; attempts = n;
+              fired = fired () }
+        | Some _ when n <= policy.retries ->
+            (* the cell only survived through the ladder; a scaled
+               budget may decide it without degradation *)
+            Telemetry.Metrics.incr m_retries;
+            attempt (n + 1) (Robust.Budget.scale policy.backoff budget)
+        | Some rung ->
+            (* completed, but only thanks to off-budget fallbacks: a
+               graded partial success, attributed to the deepest rung *)
+            let cause = Degraded rung in
+            let stage = stage_of_cause cause in
+            Telemetry.Metrics.incr m_cells_p;
+            Telemetry.Metrics.incr (List.assoc stage m_stage);
+            { graded = { graded with cell = Partial };
+              cause = Some cause; stage; attempts = n; fired = fired () })
     | exception e ->
         let cause =
           match e with

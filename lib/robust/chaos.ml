@@ -32,6 +32,14 @@ let point_name = function
   | Alloc_failure -> "alloc_failure"
   | Cancellation -> "cancellation"
 
+(** Inverse of {!point_name} (journal decoding). *)
+let point_of_name = function
+  | "solver_timeout" -> Some Solver_timeout
+  | "lifter_unmodeled" -> Some Lifter_unmodeled
+  | "alloc_failure" -> Some Alloc_failure
+  | "cancellation" -> Some Cancellation
+  | _ -> None
+
 (** Raised at a firing probe (except {!Cancellation}, which raises
     through {!Meter} as an [Exhausted Cancelled] at the next
     checkpoint instead — a cancelled run is a partial result, not a

@@ -1,0 +1,281 @@
+(** Write-ahead cell journal: durable, checksummed JSONL records of
+    completed evaluation cells, so a killed run resumes instead of
+    re-paying for every finished cell.
+
+    Each line is [<fnv64-hex> <json-body>\n] where the 16-hex-digit
+    FNV-1a checksum covers the exact body text.  The body carries the
+    run {e fingerprint} (hash of tool set, bomb catalog, budget/policy
+    and solver configuration), a monotonically increasing sequence
+    number, the cell key ([tool/bomb]) and an opaque payload the
+    caller encodes.  The journal is engine-agnostic: this module only
+    knows about lines, checksums and fingerprints — the cell payload
+    codec lives with the evaluation layer.
+
+    Durability model: every {!append} writes one complete line and
+    flushes before returning, so after a crash the file is a valid
+    journal plus at most one torn final line.  {!load} skips (and
+    counts, and warns about) torn, corrupt and stale records rather
+    than failing: a damaged journal costs re-running cells, never a
+    wrong cached grade. *)
+
+(* ------------------------------------------------------------------ *)
+(* FNV-1a 64-bit                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv64 (s : string) : int64 =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+       h := Int64.logxor !h (Int64.of_int (Char.code c));
+       h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let fnv64_hex s = Printf.sprintf "%016Lx" (fnv64 s)
+
+(** Fingerprint a run configuration: hash of the given components in
+    order, stable across processes.  Components may be arbitrary
+    binary (bomb images); length-prefixing keeps the encoding
+    injective. *)
+let fingerprint (components : string list) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun c ->
+       Buffer.add_string buf (string_of_int (String.length c));
+       Buffer.add_char buf ':';
+       Buffer.add_string buf c)
+    components;
+  fnv64_hex (Buffer.contents buf)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let m_appended = Telemetry.Metrics.counter "journal.appended"
+let m_replayed = Telemetry.Metrics.counter "journal.replayed"
+let m_corrupt = Telemetry.Metrics.counter "journal.corrupt"
+let m_truncated = Telemetry.Metrics.counter "journal.truncated"
+let m_stale = Telemetry.Metrics.counter "journal.stale"
+let m_undecodable = Telemetry.Metrics.counter "journal.undecodable"
+
+(** The replay layer calls this once per cell answered from the
+    journal, so [journal.replayed] counts cells, not parsed lines. *)
+let count_replayed () = Telemetry.Metrics.incr m_replayed
+
+(** A checksummed-valid record whose payload the caller's codec
+    rejected (version skew, hand edits): skipped like corruption. *)
+let count_undecodable () = Telemetry.Metrics.incr m_undecodable
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type writer = {
+  oc : out_channel;
+  w_fingerprint : string;
+  mutable seq : int;
+}
+
+(* minimal JSON string escaper: every non-printable or non-ASCII byte
+   goes out as \u00XX, which the Trace_check parser maps back to the
+   same byte — proposed inputs can contain arbitrary bytes *)
+let json_escape (s : string) : string =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | ' ' .. '~' -> Buffer.add_char buf c
+       | c -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+(** Open [path] for appending records under [fingerprint].  [seq] is
+    the next sequence number (continue from {!load}'s [next_seq] when
+    resuming).  If the file ends in a torn line (crash mid-append),
+    the tail is terminated with a newline first so new records never
+    fuse with the torn bytes. *)
+let open_writer ~fingerprint ?(seq = 0) path : writer =
+  let torn_tail =
+    Sys.file_exists path
+    && (let ic = open_in_bin path in
+        let size = in_channel_length ic in
+        let torn =
+          size > 0
+          && (seek_in ic (size - 1);
+              input_char ic <> '\n')
+        in
+        close_in ic;
+        torn)
+  in
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  if torn_tail then output_char oc '\n';
+  { oc; w_fingerprint = fingerprint; seq }
+
+let body ~fingerprint ~seq ~key ~payload =
+  Printf.sprintf "{\"fp\":\"%s\",\"seq\":%d,\"key\":\"%s\",\"cell\":%s}"
+    (json_escape fingerprint) seq (json_escape key) payload
+
+(** Append one record ([payload] must be a complete JSON value) and
+    flush: once [append] returns, the record survives a [kill -9]. *)
+let append (w : writer) ~key ~payload =
+  let b = body ~fingerprint:w.w_fingerprint ~seq:w.seq ~key ~payload in
+  output_string w.oc (fnv64_hex b);
+  output_char w.oc ' ';
+  output_string w.oc b;
+  output_char w.oc '\n';
+  flush w.oc;
+  w.seq <- w.seq + 1;
+  Telemetry.Metrics.incr m_appended
+
+(** Write the prefix of a record and stop mid-line without a trailing
+    newline — simulates a crash between [output] and [flush] for the
+    kill-and-resume smoke test. *)
+let append_torn (w : writer) ~key =
+  let b =
+    body ~fingerprint:w.w_fingerprint ~seq:w.seq ~key ~payload:"{\"torn\":"
+  in
+  let half = String.length b / 2 in
+  output_string w.oc (fnv64_hex b);
+  output_char w.oc ' ';
+  output_string w.oc (String.sub b 0 half);
+  flush w.oc
+
+let close_writer (w : writer) = close_out w.oc
+
+(* ------------------------------------------------------------------ *)
+(* Loader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  key : string;
+  seq : int;
+  cell : Telemetry.Trace_check.json;  (** opaque payload, caller-decoded *)
+}
+
+type load_result = {
+  entries : entry list;  (** valid matching records, last-wins per key *)
+  total_lines : int;
+  valid : int;
+  corrupt : int;    (** checksum or structural failure before EOF *)
+  truncated : int;  (** damaged final line (torn write) *)
+  stale : int;      (** valid record under a different fingerprint *)
+  next_seq : int;   (** where a resuming writer should continue *)
+}
+
+let empty_load =
+  { entries = []; total_lines = 0; valid = 0; corrupt = 0; truncated = 0;
+    stale = 0; next_seq = 0 }
+
+(* one "<checksum> <body>" line; [last] discriminates torn-tail from
+   mid-file corruption *)
+type parsed = Valid of entry * string | Stale | Damaged
+
+let parse_line ~fingerprint line : parsed =
+  let open Telemetry.Trace_check in
+  if String.length line < 18 || line.[16] <> ' ' then Damaged
+  else
+    let sum = String.sub line 0 16 in
+    let b = String.sub line 17 (String.length line - 17) in
+    if not (String.equal sum (fnv64_hex b)) then Damaged
+    else
+      match parse_opt b with
+      | None -> Damaged
+      | Some j -> (
+          match (member "fp" j, member "seq" j, member "key" j,
+                 member "cell" j) with
+          | Some (Str fp), Some (Num seq), Some (Str key), Some cell ->
+              if not (String.equal fp fingerprint) then Stale
+              else Valid ({ key; seq = int_of_float seq; cell }, fp)
+          | _ -> Damaged)
+
+(** Load every record of [path] that matches [fingerprint].  A missing
+    file is an empty journal.  Damaged or stale lines are skipped with
+    a {!Telemetry.Log} warning and counted — in the result and in the
+    [journal.*] metrics. *)
+let load ~fingerprint path : load_result =
+  if not (Sys.file_exists path) then empty_load
+  else begin
+    let ic = open_in_bin path in
+    let size = in_channel_length ic in
+    let raw = really_input_string ic size in
+    close_in ic;
+    (* a well-formed journal ends in '\n'; anything after the final
+       newline is a torn tail from a crashed append *)
+    let complete, tail =
+      match String.rindex_opt raw '\n' with
+      | None -> ("", raw)
+      | Some i ->
+          (String.sub raw 0 i, String.sub raw (i + 1) (size - i - 1))
+    in
+    let lines =
+      if complete = "" then [] else String.split_on_char '\n' complete
+    in
+    let acc = ref empty_load in
+    let note_line () =
+      acc := { !acc with total_lines = !acc.total_lines + 1 }
+    in
+    let warn_skip ~kind lineno =
+      Telemetry.Log.warnf "journal: skipping %s record at %s:%d" kind path
+        lineno
+    in
+    List.iteri
+      (fun i line ->
+         note_line ();
+         match parse_line ~fingerprint line with
+         | Valid (e, _) ->
+             acc :=
+               { !acc with
+                 valid = !acc.valid + 1;
+                 entries = e :: !acc.entries;
+                 next_seq = max !acc.next_seq (e.seq + 1) }
+         | Stale ->
+             Telemetry.Metrics.incr m_stale;
+             warn_skip ~kind:"stale (fingerprint mismatch)" (i + 1);
+             acc := { !acc with stale = !acc.stale + 1 }
+         | Damaged ->
+             Telemetry.Metrics.incr m_corrupt;
+             warn_skip ~kind:"corrupt" (i + 1);
+             acc := { !acc with corrupt = !acc.corrupt + 1 })
+      lines;
+    if tail <> "" then begin
+      note_line ();
+      (* a torn tail could still parse if the crash landed exactly on
+         the newline boundary minus the terminator; accept it only if
+         fully valid *)
+      match parse_line ~fingerprint tail with
+      | Valid (e, _) ->
+          acc :=
+            { !acc with
+              valid = !acc.valid + 1;
+              entries = e :: !acc.entries;
+              next_seq = max !acc.next_seq (e.seq + 1) }
+      | Stale ->
+          Telemetry.Metrics.incr m_stale;
+          warn_skip ~kind:"stale (fingerprint mismatch)" !acc.total_lines;
+          acc := { !acc with stale = !acc.stale + 1 }
+      | Damaged ->
+          Telemetry.Metrics.incr m_truncated;
+          warn_skip ~kind:"truncated" !acc.total_lines;
+          acc := { !acc with truncated = !acc.truncated + 1 }
+    end;
+    (* last-wins per key: a resumed run may have re-executed a cell *)
+    let seen = Hashtbl.create 64 in
+    let entries =
+      List.filter
+        (fun e ->
+           if Hashtbl.mem seen e.key then false
+           else begin
+             Hashtbl.replace seen e.key ();
+             true
+           end)
+        !acc.entries  (* newest first *)
+    in
+    { !acc with entries = List.rev entries }
+  end

@@ -35,6 +35,17 @@ let resource_name = function
   | Deadline -> "deadline"
   | Cancelled -> "cancelled"
 
+(** Inverse of {!resource_name} (journal decoding). *)
+let resource_of_name = function
+  | "vm_steps" -> Some Vm_steps
+  | "lifted_insns" -> Some Lifted_insns
+  | "solver_conflicts" -> Some Solver_conflicts
+  | "expr_nodes" -> Some Expr_nodes
+  | "taint_events" -> Some Taint_events
+  | "deadline" -> Some Deadline
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
 (** A budget tripped: [resource] names which cap, [limit] its value,
     [spent] the count that crossed it (0/0 for deadline and
     cancellation, which are conditions rather than counters). *)

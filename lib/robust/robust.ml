@@ -10,6 +10,7 @@
 module Budget = Budget
 module Chaos = Chaos
 module Meter = Meter
+module Journal = Journal
 
 exception Exhausted = Meter.Exhausted
 exception Injected = Chaos.Injected

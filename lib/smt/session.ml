@@ -43,6 +43,9 @@ type config = {
   seeds : Eval.env list;
       (** candidate assignments the caller wants tried first (e.g.
           small decimal strings for argv-byte groups) *)
+  ladder : Degrade.rung list;
+      (** degradation rungs tried when a cell budget trips mid-check;
+          [[]] restores the hard-failure behaviour (re-raise) *)
 }
 
 let default_config =
@@ -50,7 +53,8 @@ let default_config =
     enable_fp_search = false;
     fp_search_iters = 50_000;
     fp_rng_seed = Search.default_rng_seed;
-    seeds = [] }
+    seeds = [];
+    ladder = Degrade.default_ladder }
 
 (* ------------------------------------------------------------------ *)
 (* Hash-consing                                                        *)
@@ -395,7 +399,31 @@ let check ?config t : outcome =
           Stats.record_cache_hit t.stats;
           r
         | None ->
-          let r = solve_uncached t cfg cs_i in
+          let r =
+            try solve_uncached t cfg cs_i with
+            | Robust.Meter.Exhausted
+                { resource =
+                    ( Robust.Meter.Solver_conflicts | Robust.Meter.Expr_nodes
+                    | Robust.Meter.Deadline );
+                  _ }
+              when cfg.ladder <> [] -> (
+                (* the cell budget tripped mid-solve: walk the
+                   degradation ladder over the same assertion set
+                   instead of aborting the cell.  Injected chaos
+                   faults and cooperative cancellation still escape —
+                   only genuine resource exhaustion degrades. *)
+                match Degrade.run ~ladder:cfg.ladder cs with
+                | Degrade.Sat m, rung when model_holds m cs ->
+                  Stats.record_degraded t.stats rung;
+                  Sat m
+                | Degrade.Unsat, rung ->
+                  Stats.record_degraded t.stats rung;
+                  Unsat
+                | (Degrade.Sat _ | Degrade.Undecided), _ ->
+                  (* an invalid ladder model counts as give-up too *)
+                  Stats.record_degraded t.stats Degrade.give_up_name;
+                  Unknown Budget)
+          in
           (match r with
            | Sat m -> Hashtbl.replace t.query_cache key (Cached_sat m)
            | Unsat -> Hashtbl.replace t.query_cache key Cached_unsat

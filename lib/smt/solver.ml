@@ -32,6 +32,9 @@ type config = Session.config = {
   seeds : Eval.env list;
       (** candidate assignments the caller wants tried first (e.g.
           small decimal strings for argv-byte groups) *)
+  ladder : Degrade.rung list;
+      (** degradation rungs tried when a cell budget trips mid-check;
+          [[]] restores the hard-failure behaviour (re-raise) *)
 }
 
 let default_config = Session.default_config

@@ -12,6 +12,12 @@ type t = {
   mutable blasted_nodes : int;  (** term nodes newly encoded to CNF *)
   mutable conflicts : int;      (** CDCL conflicts spent in [check] *)
   mutable wall_time : float;    (** seconds spent inside [check] *)
+  mutable degraded_resimplify : int;
+      (** budget-tripped checks decided by the resimplify rung *)
+  mutable degraded_enumerate : int;
+      (** budget-tripped checks decided by exhaustive enumeration *)
+  mutable degraded_give_up : int;
+      (** budget-tripped checks no ladder rung could decide *)
 }
 
 let create () =
@@ -22,7 +28,10 @@ let create () =
     unknown = 0;
     blasted_nodes = 0;
     conflicts = 0;
-    wall_time = 0.0 }
+    wall_time = 0.0;
+    degraded_resimplify = 0;
+    degraded_enumerate = 0;
+    degraded_give_up = 0 }
 
 (** Independent copy (for snapshots of a live accumulator). *)
 let copy s =
@@ -33,7 +42,10 @@ let copy s =
     unknown = s.unknown;
     blasted_nodes = s.blasted_nodes;
     conflicts = s.conflicts;
-    wall_time = s.wall_time }
+    wall_time = s.wall_time;
+    degraded_resimplify = s.degraded_resimplify;
+    degraded_enumerate = s.degraded_enumerate;
+    degraded_give_up = s.degraded_give_up }
 
 (** Add [src] into [dst] (merging per-engine accumulators). *)
 let add ~into:dst src =
@@ -44,7 +56,10 @@ let add ~into:dst src =
   dst.unknown <- dst.unknown + src.unknown;
   dst.blasted_nodes <- dst.blasted_nodes + src.blasted_nodes;
   dst.conflicts <- dst.conflicts + src.conflicts;
-  dst.wall_time <- dst.wall_time +. src.wall_time
+  dst.wall_time <- dst.wall_time +. src.wall_time;
+  dst.degraded_resimplify <- dst.degraded_resimplify + src.degraded_resimplify;
+  dst.degraded_enumerate <- dst.degraded_enumerate + src.degraded_enumerate;
+  dst.degraded_give_up <- dst.degraded_give_up + src.degraded_give_up
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry registry mirrors                                          *)
@@ -97,12 +112,54 @@ let add_wall s dt =
   s.wall_time <- s.wall_time +. dt;
   Telemetry.Metrics.gauge_add m_wall dt
 
+(* degradation-ladder outcomes: one total plus a per-rung breakdown,
+   keyed by the rung names {!Degrade.rung_name} reports *)
+let m_degraded = Telemetry.Metrics.counter "solver.degraded"
+let m_degraded_resimplify = Telemetry.Metrics.counter "solver.degraded.resimplify"
+let m_degraded_enumerate = Telemetry.Metrics.counter "solver.degraded.enumerate"
+let m_degraded_give_up = Telemetry.Metrics.counter "solver.degraded.give_up"
+
+(** Record a budget-tripped check resolved (or abandoned) by the
+    degradation-ladder rung named [rung]. *)
+let record_degraded s rung =
+  Telemetry.Metrics.incr m_degraded;
+  match rung with
+  | "resimplify" ->
+    s.degraded_resimplify <- s.degraded_resimplify + 1;
+    Telemetry.Metrics.incr m_degraded_resimplify
+  | "enumerate" ->
+    s.degraded_enumerate <- s.degraded_enumerate + 1;
+    Telemetry.Metrics.incr m_degraded_enumerate
+  | _ ->
+    s.degraded_give_up <- s.degraded_give_up + 1;
+    Telemetry.Metrics.incr m_degraded_give_up
+
+(** Rung names with a nonzero degraded count, shallowest first
+    (resimplify < enumerate < give_up) — callers that want "the rung
+    that decided the cell" take the last element. *)
+let degraded_rungs s =
+  List.filter_map
+    (fun (n, name) -> if n > 0 then Some name else None)
+    [ (s.degraded_resimplify, "resimplify");
+      (s.degraded_enumerate, "enumerate");
+      (s.degraded_give_up, "give_up") ]
+
+let degraded_total s =
+  s.degraded_resimplify + s.degraded_enumerate + s.degraded_give_up
+
 let to_string s =
-  Printf.sprintf
-    "queries=%d hits=%d sat=%d unsat=%d unknown=%d blasted=%d conflicts=%d \
-     wall=%.4fs"
-    s.queries s.cache_hits s.sat s.unsat s.unknown s.blasted_nodes s.conflicts
-    s.wall_time
+  let base =
+    Printf.sprintf
+      "queries=%d hits=%d sat=%d unsat=%d unknown=%d blasted=%d conflicts=%d \
+       wall=%.4fs"
+      s.queries s.cache_hits s.sat s.unsat s.unknown s.blasted_nodes
+      s.conflicts s.wall_time
+  in
+  if degraded_total s = 0 then base
+  else
+    Printf.sprintf "%s degraded=%d(resimplify=%d,enumerate=%d,give_up=%d)"
+      base (degraded_total s) s.degraded_resimplify s.degraded_enumerate
+      s.degraded_give_up
 
 (** The fields as JSON object members (no enclosing braces), for the
     bench harness's machine-readable output. *)
@@ -110,6 +167,7 @@ let to_json_fields s =
   Printf.sprintf
     "\"queries\": %d, \"cache_hits\": %d, \"sat\": %d, \"unsat\": %d, \
      \"unknown\": %d, \"blasted_nodes\": %d, \"conflicts\": %d, \
-     \"solver_wall_s\": %.6f"
+     \"solver_wall_s\": %.6f, \"degraded_resimplify\": %d, \
+     \"degraded_enumerate\": %d, \"degraded_give_up\": %d"
     s.queries s.cache_hits s.sat s.unsat s.unknown s.blasted_nodes s.conflicts
-    s.wall_time
+    s.wall_time s.degraded_resimplify s.degraded_enumerate s.degraded_give_up

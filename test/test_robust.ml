@@ -351,6 +351,277 @@ let soak_contains_every_fault () =
   Alcotest.(check int) "every chaos cell accounted" r.cells_run
     (r.degraded_e + r.degraded_p + r.clean)
 
+(* ---------------- the degradation ladder ---------------- *)
+
+(* a zero-conflict cap trips the meter at the first CDCL conflict, so
+   any query that needs actual search degrades; [y*y = 225] is sat
+   (y = 15) but forces search, [y*y = 2] is unsat (2 is not a square
+   mod 256) and forces search to prove it *)
+let conflict_capped_session ?config () =
+  let meter =
+    Robust.Meter.create
+      { Robust.Budget.unlimited with solver_conflicts = Some 0 }
+  in
+  Smt.Session.create ~meter ?config ()
+
+let square y n = Smt.Expr.eq (Smt.Expr.Binop (Mul, v y, v y)) (c n)
+
+let ladder_resimplify_decides_sat () =
+  let s = conflict_capped_session () in
+  let before = Telemetry.Metrics.counter_value "solver.degraded" in
+  (match
+     Smt.Session.check_assertions s
+       [ Smt.Expr.eq (v "x") (c 5L); square "y" 225L ]
+   with
+   | Smt.Session.Sat m ->
+     Alcotest.(check bool) "model pins x=5" true
+       (List.assoc_opt "x" m = Some 5L);
+     let y = Option.value ~default:0L (List.assoc_opt "y" m) in
+     Alcotest.(check bool) "model solves y*y=225" true
+       (Int64.rem (Int64.mul y y) 256L = 225L)
+   | _ -> Alcotest.fail "ladder must still decide the sat query");
+  Alcotest.(check int) "resimplify rung recorded" 1
+    (Smt.Session.stats s).Smt.Stats.degraded_resimplify;
+  Alcotest.(check bool) "solver.degraded bumped" true
+    (Telemetry.Metrics.counter_value "solver.degraded" > before)
+
+let ladder_enumerate_decides_unsat () =
+  let config =
+    { Smt.Session.default_config with
+      ladder = [ Smt.Degrade.Enumerate { max_bits = 8 } ] }
+  in
+  let s = conflict_capped_session ~config () in
+  (match Smt.Session.check_assertions s [ square "y" 2L ] with
+   | Smt.Session.Unsat -> ()
+   | _ -> Alcotest.fail "enumeration must prove y*y=2 unsat");
+  Alcotest.(check int) "enumerate rung recorded" 1
+    (Smt.Session.stats s).Smt.Stats.degraded_enumerate
+
+let ladder_gives_up_when_rungs_decline () =
+  (* 8 free bits > max_bits: the only rung declines, the ladder falls
+     off and the check reports Unknown instead of raising *)
+  let config =
+    { Smt.Session.default_config with
+      ladder = [ Smt.Degrade.Enumerate { max_bits = 4 } ] }
+  in
+  let s = conflict_capped_session ~config () in
+  (match Smt.Session.check_assertions s [ square "y" 225L ] with
+   | Smt.Session.Unknown _ -> ()
+   | _ -> Alcotest.fail "declined rungs must surface as Unknown");
+  Alcotest.(check int) "give-up recorded" 1
+    (Smt.Session.stats s).Smt.Stats.degraded_give_up
+
+let ladder_off_restores_hard_failure () =
+  let config = { Smt.Session.default_config with ladder = [] } in
+  let s = conflict_capped_session ~config () in
+  match Smt.Session.check_assertions s [ square "y" 225L ] with
+  | exception Robust.Meter.Exhausted { resource; _ } ->
+    Alcotest.(check bool) "tripped on conflicts" true
+      (resource = Robust.Meter.Solver_conflicts)
+  | _ -> Alcotest.fail "empty ladder must re-raise the budget trip"
+
+let ladder_turns_e_into_p () =
+  (* srand_bomb x BAP exhausts a 50-conflict cap; pre-ladder engines
+     graded this cell E *)
+  let policy =
+    { Engines.Supervisor.default_policy with
+      budget = { Robust.Budget.unlimited with solver_conflicts = Some 50 } }
+  in
+  let o =
+    Engines.Supervisor.run_cell ~policy Engines.Profile.Bap
+      (bomb "srand_bomb")
+  in
+  Alcotest.(check string) "graded P" "P" (cell_symbol o.graded.cell);
+  (match o.cause with
+   | Some (Engines.Supervisor.Degraded _) -> ()
+   | _ -> Alcotest.fail "cause must name the deciding rung");
+  Alcotest.(check bool) "stage is Es3" true (o.stage = Some Es3);
+  Alcotest.(check bool) "degraded diag recorded" true
+    (has_degraded o.graded.diags);
+  (* with the ladder off the same budget is a hard failure again *)
+  let o' =
+    Engines.Supervisor.run_cell ~ladder:[] ~policy Engines.Profile.Bap
+      (bomb "srand_bomb")
+  in
+  Alcotest.(check string) "ladder off -> E" "E" (cell_symbol o'.graded.cell);
+  Alcotest.(check bool) "cause is the raw trip" true
+    (o'.cause
+     = Some (Engines.Supervisor.Exhausted Robust.Meter.Solver_conflicts))
+
+(* ---------------- the journal ---------------- *)
+
+let read_file p =
+  let ic = open_in_bin p in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file p s =
+  let oc = open_out_bin p in
+  output_string oc s;
+  close_out oc
+
+let journal_skips_damage () =
+  let path = Filename.temp_file "robust_journal" ".jsonl" in
+  let fp = Robust.Journal.fingerprint [ "unit"; "test" ] in
+  let w = Robust.Journal.open_writer ~fingerprint:fp path in
+  Robust.Journal.append w ~key:"BAP/a" ~payload:"{\"n\":1}";
+  Robust.Journal.append w ~key:"BAP/b" ~payload:"{\"n\":2}";
+  Robust.Journal.append w ~key:"BAP/c" ~payload:"{\"n\":3}";
+  Robust.Journal.close_writer w;
+  let pristine = read_file path in
+  let l = Robust.Journal.load ~fingerprint:fp path in
+  Alcotest.(check int) "all valid" 3 l.valid;
+  Alcotest.(check int) "next seq continues" 3 l.next_seq;
+  (* flipped checksum byte: the record is skipped, never trusted *)
+  let corrupted =
+    match String.split_on_char '\n' pristine with
+    | a :: b :: rest ->
+      let b = Bytes.of_string b in
+      Bytes.set b 0 (if Bytes.get b 0 = '0' then '1' else '0');
+      String.concat "\n" (a :: Bytes.to_string b :: rest)
+    | _ -> Alcotest.fail "journal must have three lines"
+  in
+  write_file path corrupted;
+  let before = Telemetry.Metrics.counter_value "journal.corrupt" in
+  let l = Robust.Journal.load ~fingerprint:fp path in
+  Alcotest.(check int) "two valid" 2 l.valid;
+  Alcotest.(check int) "one corrupt" 1 l.corrupt;
+  Alcotest.(check bool) "corrupt metric bumped" true
+    (Telemetry.Metrics.counter_value "journal.corrupt" > before);
+  Alcotest.(check bool) "damaged key dropped" true
+    (not
+       (List.exists
+          (fun (e : Robust.Journal.entry) -> e.key = "BAP/b")
+          l.entries));
+  (* truncated final record: a torn tail from a crashed append *)
+  write_file path (String.sub pristine 0 (String.length pristine - 25));
+  let l = Robust.Journal.load ~fingerprint:fp path in
+  Alcotest.(check int) "survivors valid" 2 l.valid;
+  Alcotest.(check int) "torn tail counted" 1 l.truncated;
+  Alcotest.(check int) "resume seq past survivors" 2 l.next_seq;
+  (* a resumed writer heals the torn tail, so its appends parse *)
+  let w = Robust.Journal.open_writer ~fingerprint:fp ~seq:l.next_seq path in
+  Robust.Journal.append w ~key:"BAP/c" ~payload:"{\"n\":33}";
+  Robust.Journal.close_writer w;
+  let l = Robust.Journal.load ~fingerprint:fp path in
+  Alcotest.(check int) "healed journal valid" 3 l.valid;
+  Alcotest.(check int) "torn line now corrupt" 1 l.corrupt;
+  (* fingerprint mismatch: every record is stale, none is reused *)
+  write_file path pristine;
+  let other = Robust.Journal.fingerprint [ "other"; "config" ] in
+  let stale_before = Telemetry.Metrics.counter_value "journal.stale" in
+  let l = Robust.Journal.load ~fingerprint:other path in
+  Alcotest.(check int) "nothing valid" 0 l.valid;
+  Alcotest.(check int) "all stale" 3 l.stale;
+  Alcotest.(check int) "no entries survive" 0 (List.length l.entries);
+  Alcotest.(check bool) "stale metric bumped" true
+    (Telemetry.Metrics.counter_value "journal.stale" > stale_before);
+  Sys.remove path
+
+let codec_roundtrip () =
+  let outcomes =
+    [ { Engines.Supervisor.graded =
+          { Engines.Grade.cell = Success; proposed = Some "ab\x00\xffz";
+            detonated = true; false_positive = false; diags = []; work = 123 };
+        cause = None; stage = None; attempts = 1; fired = [] };
+      { Engines.Supervisor.graded =
+          { Engines.Grade.cell = Partial; proposed = None; detonated = false;
+            false_positive = false;
+            diags =
+              [ Solver_degraded "enumerate"; Concretized_load 0xdeadbeefL;
+                Unsupported_syscall "ptrace"; Fp_constraint ];
+            work = 0 };
+        cause = Some (Engines.Supervisor.Degraded "enumerate");
+        stage = Some Es3; attempts = 2;
+        fired = [ (Robust.Chaos.Solver_timeout, 3) ] };
+      { Engines.Supervisor.graded =
+          { Engines.Grade.cell = Fail Es1; proposed = None; detonated = false;
+            false_positive = true; diags = [ Lift_failure "rdtsc" ];
+            work = 7 };
+        cause = Some (Engines.Supervisor.Exhausted Robust.Meter.Deadline);
+        stage = Some Es1; attempts = 3; fired = [] } ]
+  in
+  List.iter
+    (fun (o : Engines.Supervisor.outcome) ->
+       let payload = Engines.Journal_codec.encode_outcome o in
+       match Telemetry.Trace_check.parse_opt payload with
+       | None -> Alcotest.failf "payload must parse as JSON: %s" payload
+       | Some j -> (
+           match Engines.Journal_codec.decode_outcome j with
+           | None -> Alcotest.failf "payload must decode: %s" payload
+           | Some o' ->
+             Alcotest.(check bool) "round trip preserves the outcome" true
+               (o = o')))
+    outcomes
+
+let journal_replay_matches_fresh () =
+  let path = Filename.temp_file "robust_journal" ".jsonl" in
+  Sys.remove path;
+  let journal =
+    { Engines.Eval.journal_path = path; kill_after = None; kill_torn = false }
+  in
+  let fresh =
+    Engines.Eval.run_table2 ~tools:det_tools ~bombs:(det_bombs ()) ()
+  in
+  let written =
+    Engines.Eval.run_table2 ~tools:det_tools ~bombs:(det_bombs ()) ~journal ()
+  in
+  Alcotest.(check (list string)) "journaled run = fresh" (symbols fresh)
+    (symbols written);
+  let before = Telemetry.Metrics.counter_value "journal.replayed" in
+  let replayed =
+    Engines.Eval.run_table2 ~tools:det_tools ~bombs:(det_bombs ()) ~journal ()
+  in
+  Alcotest.(check (list string)) "replayed table = fresh" (symbols fresh)
+    (symbols replayed);
+  Alcotest.(check int) "every cell answered from the journal" (before + 6)
+    (Telemetry.Metrics.counter_value "journal.replayed");
+  (* a different run configuration must never reuse those records *)
+  let stale_before = Telemetry.Metrics.counter_value "journal.stale" in
+  let fresh_budgeted =
+    Engines.Eval.run_table2 ~policy:tripping_policy ~tools:det_tools
+      ~bombs:(det_bombs ()) ()
+  in
+  let budgeted =
+    Engines.Eval.run_table2 ~policy:tripping_policy ~tools:det_tools
+      ~bombs:(det_bombs ()) ~journal ()
+  in
+  Alcotest.(check (list string)) "stale journal never feeds wrong grades"
+    (symbols fresh_budgeted) (symbols budgeted);
+  Alcotest.(check bool) "stale records counted" true
+    (Telemetry.Metrics.counter_value "journal.stale" > stale_before);
+  Sys.remove path
+
+let journal_kill_and_resume () =
+  let path = Filename.temp_file "robust_journal" ".jsonl" in
+  Sys.remove path;
+  let fresh =
+    Engines.Eval.run_table2 ~tools:det_tools ~bombs:(det_bombs ()) ()
+  in
+  (match
+     Engines.Eval.run_table2 ~tools:det_tools ~bombs:(det_bombs ())
+       ~journal:
+         { Engines.Eval.journal_path = path; kill_after = Some 2;
+           kill_torn = true }
+       ()
+   with
+   | exception Engines.Eval.Simulated_crash -> ()
+   | _ -> Alcotest.fail "kill-after must abort the run");
+  let trunc_before = Telemetry.Metrics.counter_value "journal.truncated" in
+  let resumed =
+    Engines.Eval.run_table2 ~tools:det_tools ~bombs:(det_bombs ())
+      ~journal:
+        { Engines.Eval.journal_path = path; kill_after = None;
+          kill_torn = false }
+      ()
+  in
+  Alcotest.(check (list string)) "resumed table = uninterrupted run"
+    (symbols fresh) (symbols resumed);
+  Alcotest.(check bool) "torn record detected on resume" true
+    (Telemetry.Metrics.counter_value "journal.truncated" > trunc_before);
+  Sys.remove path
+
 let () =
   Alcotest.run "robust"
     [ ("budget",
@@ -384,6 +655,25 @@ let () =
            grades_deterministic_across_runs;
          Alcotest.test_case "incremental agrees one-shot" `Quick
            modes_agree_under_budget ]);
+      ("ladder",
+       [ Alcotest.test_case "resimplify decides sat" `Quick
+           ladder_resimplify_decides_sat;
+         Alcotest.test_case "enumerate decides unsat" `Quick
+           ladder_enumerate_decides_unsat;
+         Alcotest.test_case "declined rungs -> Unknown" `Quick
+           ladder_gives_up_when_rungs_decline;
+         Alcotest.test_case "empty ladder re-raises" `Quick
+           ladder_off_restores_hard_failure;
+         Alcotest.test_case "budget-tripped cell -> P" `Quick
+           ladder_turns_e_into_p ]);
+      ("journal",
+       [ Alcotest.test_case "damage skipped, never trusted" `Quick
+           journal_skips_damage;
+         Alcotest.test_case "codec round trip" `Quick codec_roundtrip;
+         Alcotest.test_case "replay = fresh run" `Quick
+           journal_replay_matches_fresh;
+         Alcotest.test_case "kill and resume" `Quick
+           journal_kill_and_resume ]);
       ("soak",
        [ Alcotest.test_case "50 plans contained" `Quick
            soak_contains_every_fault ]) ]
