@@ -34,8 +34,16 @@ let parse_policy budget_spec retries backoff =
    clean exit: distinctive code, no table output *)
 let kill_exit_code = 9
 
+(* --trace-dir: record-once/analyze-many trace store (also settable
+   via TRACE_DIR; the flag wins) *)
+let set_trace_dir = function
+  | Some d -> Trace.set_store_dir (Some d)
+  | None -> ()
+
 let run_table2_common ~require_journal no_incremental no_ladder budget_spec
-    retries backoff tools_filter bombs_filter journal kill_after kill_torn =
+    retries backoff tools_filter bombs_filter journal kill_after kill_torn
+    trace_dir =
+  set_trace_dir trace_dir;
   let tools = parse_tools tools_filter in
   let bombs =
     match bombs_filter with
@@ -75,17 +83,18 @@ let run_table2_common ~require_journal no_incremental no_ladder budget_spec
     exit kill_exit_code
 
 let run_table2 no_incremental no_ladder budget_spec retries backoff
-    tools_filter bombs_filter journal kill_after kill_torn =
+    tools_filter bombs_filter journal kill_after kill_torn trace_dir =
   run_table2_common ~require_journal:false no_incremental no_ladder
     budget_spec retries backoff tools_filter bombs_filter journal kill_after
-    kill_torn
+    kill_torn trace_dir
 
 let run_resume no_incremental no_ladder budget_spec retries backoff
-    tools_filter bombs_filter journal =
+    tools_filter bombs_filter journal trace_dir =
   run_table2_common ~require_journal:true no_incremental no_ladder budget_spec
-    retries backoff tools_filter bombs_filter journal None false
+    retries backoff tools_filter bombs_filter journal None false trace_dir
 
-let run_fig3 () =
+let run_fig3 trace_dir =
+  set_trace_dir trace_dir;
   let r = Engines.Eval.run_fig3 () in
   Printf.printf
     "Figure 3 (argv[1] = 7):\n\
@@ -184,7 +193,8 @@ let run_chaos no_incremental seed plans tools_filter bombs_filter verbose =
 (* --explain: run one cell under span tracing, print the Es-stage
    diagnosis, then render/dump the trace through the chosen sinks *)
 let run_explain no_incremental no_ladder budget_spec bomb_name tool_name sinks
-    trace_out jsonl_out =
+    trace_out jsonl_out trace_dir =
+  set_trace_dir trace_dir;
   match Bombs.Catalog.find_opt bomb_name with
   | None ->
     Printf.eprintf "unknown bomb %S (see `eval sizes` for the catalog)\n"
@@ -246,6 +256,16 @@ let run_explain no_incremental no_ladder budget_spec bomb_name tool_name sinks
          Telemetry.write_jsonl path;
          Printf.printf "wrote JSONL spans to %s\n" path)
       jsonl_out
+
+(* debug: interactive step/step-back replay over one recorded trace *)
+let run_debug bomb_name input trace_dir =
+  set_trace_dir trace_dir;
+  match Bombs.Catalog.find_opt bomb_name with
+  | None ->
+    Printf.eprintf "unknown bomb %S (see `eval sizes` for the catalog)\n"
+      bomb_name;
+    exit 2
+  | Some bomb -> Engines.Debug.run ?input bomb
 
 (* validate-trace: independent structural check of emitted files *)
 let run_validate_trace files =
@@ -343,11 +363,19 @@ let backoff_arg =
        & info [ "backoff" ]
          ~doc:"Budget scale factor applied on each retry")
 
+let trace_dir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace-dir" ] ~docv:"DIR"
+         ~doc:
+           "Persist concrete execution traces as indexed store files \
+            in $(docv) and reuse matching ones instead of re-running \
+            the VM (also settable via $(b,TRACE_DIR); the flag wins)")
+
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II")
     Term.(const run_table2 $ no_incremental_arg $ no_ladder_arg $ budget_arg
           $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
-          $ kill_after_arg $ kill_torn_arg)
+          $ kill_after_arg $ kill_torn_arg $ trace_dir_arg)
 
 let resume_cmd =
   Cmd.v
@@ -358,7 +386,8 @@ let resume_cmd =
           (requires --journal, with the same flags as the interrupted \
           run so the fingerprints match)")
     Term.(const run_resume $ no_incremental_arg $ no_ladder_arg $ budget_arg
-          $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg)
+          $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
+          $ trace_dir_arg)
 
 let chaos_cmd =
   let seed_arg =
@@ -391,7 +420,26 @@ let table1_cmd =
 
 let fig3_cmd =
   Cmd.v (Cmd.info "fig3" ~doc:"Reproduce Figure 3")
-    Term.(const run_fig3 $ const ())
+    Term.(const run_fig3 $ trace_dir_arg)
+
+let debug_cmd =
+  let bomb_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"BOMB")
+  in
+  let input_arg =
+    Arg.(value & opt (some string) None
+         & info [ "input" ] ~docv:"ARGV1"
+           ~doc:"argv[1] for the recorded run (default: the bomb's decoy)")
+  in
+  Cmd.v
+    (Cmd.info "debug"
+       ~doc:
+         "Interactive trace debugger: record (or reopen, with \
+          --trace-dir) one concrete execution and step forward and \
+          backward through it from VM checkpoints, run to an \
+          address/syscall/taint event, and query taint provenance \
+          (reads commands from stdin; try `help`)")
+    Term.(const run_debug $ bomb_arg $ input_arg $ trace_dir_arg)
 
 let sizes_cmd =
   Cmd.v (Cmd.info "sizes" ~doc:"Dataset binary-size statistics (§V-A)")
@@ -407,9 +455,9 @@ let all_cmd =
     print_newline ();
     run_sizes ();
     print_newline ();
-    run_table2 false false None 0 10.0 [] [] None None false;
+    run_table2 false false None 0 10.0 [] [] None None false None;
     print_newline ();
-    run_fig3 ();
+    run_fig3 None;
     print_newline ();
     run_negative ()
   in
@@ -458,22 +506,23 @@ let explain_term =
          & info [ "jsonl-out" ] ~docv:"FILE"
            ~doc:"Write the recorded spans as JSONL")
   in
-  let run no_incremental no_ladder budget bomb tool sinks trace_out jsonl_out =
+  let run no_incremental no_ladder budget bomb tool sinks trace_out jsonl_out
+      trace_dir =
     match bomb with
     | Some bomb_name ->
       run_explain no_incremental no_ladder budget bomb_name tool sinks
-        trace_out jsonl_out;
+        trace_out jsonl_out trace_dir;
       `Ok ()
     | None -> `Help (`Pager, None)
   in
   Term.(ret
           (const run $ no_incremental_arg $ no_ladder_arg $ budget_arg
            $ explain_arg $ tool_arg $ sink_arg $ trace_out_arg
-           $ jsonl_out_arg))
+           $ jsonl_out_arg $ trace_dir_arg))
 
 let () =
   let info = Cmd.info "eval" ~doc:"Logic-bomb evaluation harness" in
   exit (Cmd.eval (Cmd.group ~default:explain_term info
                     [ table1_cmd; table2_cmd; resume_cmd; fig3_cmd;
                       sizes_cmd; negative_cmd; validate_trace_cmd;
-                      chaos_cmd; all_cmd ]))
+                      chaos_cmd; debug_cmd; all_cmd ]))

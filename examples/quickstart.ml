@@ -42,8 +42,12 @@ let () =
 
   Fmt.pr "== 3. record a trace and taint it ==@.";
   let trace = Trace.record ~config image in
-  let addr, len = Trace.argv_region trace 1 in
-  let taint = Taint.analyze ~sources:[ (addr, len - 1) ] trace.events in
+  let addr, len =
+    match Trace.argv_region trace 1 with
+    | Some r -> r
+    | None -> failwith "crackme has no argv.(1)"
+  in
+  let taint = Taint.analyze ~sources:[ (addr, len - 1) ] trace in
   Fmt.pr "%d instructions executed, %d touch the input, %d tainted branches@.@."
     (Trace.exec_count trace) taint.tainted_count
     (List.length taint.tainted_branch);

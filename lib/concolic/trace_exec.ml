@@ -72,10 +72,12 @@ type source = { s_addr : int64; s_len : int; s_prefix : string }
     (NUL excluded so its terminator stays concrete — tools fixing the
     length do exactly this; [include_nul] widens it). *)
 let argv1_source ?(include_nul = false) (trace : Trace.t) =
-  let addr, len = Trace.argv_region trace 1 in
-  { s_addr = addr;
-    s_len = (if include_nul then len else len - 1);
-    s_prefix = "argv1" }
+  match Trace.argv_region trace 1 with
+  | None -> invalid_arg "argv1_source: traced program has no argv.(1)"
+  | Some (addr, len) ->
+    { s_addr = addr;
+      s_len = (if include_nul then len else len - 1);
+      s_prefix = "argv1" }
 
 let m_constraints = Telemetry.Metrics.counter "concolic.constraints"
 let m_sym_branches = Telemetry.Metrics.counter "concolic.sym_branches"
@@ -114,7 +116,7 @@ let run (config : config) ?session ?(sources : source list option)
   let taint =
     Taint.analyze ~policy:config.taint_policy
       ~sources:(List.map (fun s -> (s.s_addr, s.s_len)) sources)
-      trace.events
+      trace
   in
   (* current event context for the hooks *)
   let cur_event : Vm.Event.exec option ref = ref None in
@@ -201,7 +203,7 @@ let run (config : config) ?session ?(sources : source list option)
         (fun f -> Hashtbl.remove st.env f)
         [ "ZF"; "SF"; "CF"; "OF"; "PF" ]
   in
-  Array.iteri
+  Trace.iteri trace
     (fun idx ev ->
        (* cooperative cancellation/deadline poll, amortized over the
           replay loop (budget charging itself happens in the lifter
@@ -362,8 +364,7 @@ let run (config : config) ?session ?(sources : source list option)
           | Abort_on_signal ->
             State.diag st Error.Signal_in_trace;
             aborted := true
-          | Fault_branch -> ()))
-    trace.events;
+          | Fault_branch -> ()));
   Telemetry.Metrics.add m_constraints (List.length st.State.constraints);
   Telemetry.Metrics.add m_sym_branches (List.length !branches);
   { constraints = List.rev st.State.constraints;

@@ -194,10 +194,14 @@ let run_fig3 () =
     let bomb = Bombs.Catalog.find name in
     let config = Bombs.Common.config_for bomb "7" in
     let trace = Trace.record ~config (Bombs.Catalog.image bomb) in
-    let addr, len = Trace.argv_region trace 1 in
+    let addr, len =
+      match Trace.argv_region trace 1 with
+      | Some r -> r
+      | None -> failwith "fig3 bomb has no argv.(1)"
+    in
     let before = Telemetry.Metrics.counter_value Taint.metric_tainted_insns in
     let taint =
-      Taint.analyze ~sources:[ (addr, len - 1) ] trace.events
+      Taint.analyze ~sources:[ (addr, len - 1) ] trace
     in
     let tainted =
       Telemetry.Metrics.counter_value Taint.metric_tainted_insns - before

@@ -8,12 +8,16 @@ let trace_bomb ?(argv1 = "5") name =
   let b = Bombs.Catalog.find name in
   let config = Bombs.Common.config_for b argv1 in
   let t = Trace.record ~config (Bombs.Catalog.image b) in
-  let addr, len = Trace.argv_region t 1 in
+  let addr, len =
+    match Trace.argv_region t 1 with
+    | Some r -> r
+    | None -> failwith "trace has no argv.(1)"
+  in
   (t, [ (addr, len - 1) ])
 
 let analyze ?policy name =
   let t, sources = trace_bomb name in
-  Taint.analyze ?policy ~sources t.events
+  Taint.analyze ?policy ~sources t
 
 let stack_carries_taint () =
   (* push/pop of the input byte keeps it tainted: the final compare is
@@ -66,8 +70,12 @@ let overwrite_clears_taint () =
   let image = Libc.Runtime.link_with_libs prog in
   let config = { Vm.Machine.default_config with argv = [ "t"; "abc" ] } in
   let t = Trace.record ~config image in
-  let addr, len = Trace.argv_region t 1 in
-  let r = Taint.analyze ~sources:[ (addr, len - 1) ] t.events in
+  let addr, len =
+    match Trace.argv_region t 1 with
+    | Some r -> r
+    | None -> failwith "trace has no argv.(1)"
+  in
+  let r = Taint.analyze ~sources:[ (addr, len - 1) ] t in
   Alcotest.(check int) "no tainted branch after overwrite" 0
     (List.length r.tainted_branch)
 
@@ -91,22 +99,26 @@ let flags_propagate () =
   let image = Libc.Runtime.link_with_libs prog in
   let config = { Vm.Machine.default_config with argv = [ "t"; "abc" ] } in
   let t = Trace.record ~config image in
-  let addr, len = Trace.argv_region t 1 in
-  let r = Taint.analyze ~sources:[ (addr, len - 1) ] t.events in
+  let addr, len =
+    match Trace.argv_region t 1 with
+    | Some r -> r
+    | None -> failwith "trace has no argv.(1)"
+  in
+  let r = Taint.analyze ~sources:[ (addr, len - 1) ] t in
   match r.tainted_branch with
   | [ (_, taken) ] -> Alcotest.(check bool) "je on 'a' taken" true taken
   | l -> Alcotest.failf "expected 1 tainted branch, got %d" (List.length l)
 
 let indirect_jump_flagged () =
   let t, sources = trace_bomb ~argv1:"0" "jump_bomb" in
-  let r = Taint.analyze ~sources t.events in
+  let r = Taint.analyze ~sources t in
   Alcotest.(check bool) "tainted jump recorded" true
     (List.length r.tainted_jumps > 0)
 
 let fig3_monotone () =
   let count name =
     let t, sources = trace_bomb ~argv1:"77" name in
-    (Taint.analyze ~sources t.events).tainted_count
+    (Taint.analyze ~sources t).tainted_count
   in
   Alcotest.(check bool) "printf adds tainted instructions" true
     (count "fig3_print" > count "fig3_noprint")
