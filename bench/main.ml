@@ -57,25 +57,27 @@ let bench_cell_triton_oneshot =
            (Engines.Grade.run_cell ~incremental:false Engines.Profile.Triton
               (bomb "stack_bomb"))))
 
-(* Figure 3: taint analysis with and without printf *)
-let argv1_source t =
+(* Figure 3: taint analysis with and without printf.  No argv.(1) in
+   the trace degrades to an empty source list (the benchmark then
+   measures the propagation walk alone) instead of aborting. *)
+let argv1_sources t =
   match Trace.argv_region t 1 with
-  | Some (addr, len) -> (addr, len - 1)
-  | None -> failwith "bench trace has no argv.(1)"
+  | Some (addr, len) -> [ (addr, len - 1) ]
+  | None ->
+    Printf.eprintf "bench: trace has no argv.(1); taint sources empty\n";
+    []
 
 let bench_fig3_noprint =
   let t = trace_of ~argv1:"7" (bomb "fig3_noprint") in
-  let addr, len = argv1_source t in
+  let sources = argv1_sources t in
   Test.make ~name:"fig3/taint_noprint"
-    (Staged.stage (fun () ->
-         ignore (Taint.analyze ~sources:[ (addr, len) ] t)))
+    (Staged.stage (fun () -> ignore (Taint.analyze ~sources t)))
 
 let bench_fig3_print =
   let t = trace_of ~argv1:"7" (bomb "fig3_print") in
-  let addr, len = argv1_source t in
+  let sources = argv1_sources t in
   Test.make ~name:"fig3/taint_print"
-    (Staged.stage (fun () ->
-         ignore (Taint.analyze ~sources:[ (addr, len) ] t)))
+    (Staged.stage (fun () -> ignore (Taint.analyze ~sources t)))
 
 (* Dataset statistics: linking a bomb (the binary-size measurement) *)
 let bench_sizes =
@@ -131,10 +133,9 @@ let bench_solver_blast =
 (* taint filter over a crypto trace *)
 let bench_taint_sha1 =
   let t = trace_of ~argv1:"abc" (bomb "sha1_bomb") in
-  let addr, len = argv1_source t in
+  let sources = argv1_sources t in
   Test.make ~name:"ablation/taint_sha1_trace"
-    (Staged.stage (fun () ->
-         ignore (Taint.analyze ~sources:[ (addr, len) ] t)))
+    (Staged.stage (fun () -> ignore (Taint.analyze ~sources t)))
 
 (* lib loading: DSE with and without summaries on the sin bomb *)
 let bench_dse_with_libs =
@@ -451,6 +452,195 @@ let trace_report () =
     (explain_cold /. explain_warm);
   print_endline "wrote BENCH_trace.json"
 
+(* ---------------- machine-readable fleet report -------------------- *)
+
+(* the evaluation fleet, measured three ways:
+   - table2: a deterministically budgeted grid (everything but the
+     quasi-hung srand_bomb) run sequentially and at 2 and 4 workers,
+     with the rendered tables compared for identity.  On one core the
+     fleet pays fork/cache overhead; on N cores it approaches Nx.
+   - straggler: the cell the budget does NOT bound (srand_bomb has an
+     unmetered solver phase).  Sequentially that cell stalls the whole
+     table — measured in a forked child, killed at the cap if need be
+     (reported censored).  The fleet's watchdog kills the stuck worker
+     and grades the cell, so the run completes regardless.
+   - queue: scheduling overhead alone — thousands of trivial tasks
+     through the pool, submit-to-done latency percentiles. *)
+let fleet_report () =
+  let cores =
+    let ic = open_in "/proc/cpuinfo" in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = input_line ic in
+         if String.length line >= 9 && String.sub line 0 9 = "processor" then
+           incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    max 1 !n
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* --- table2: budgeted deterministic grid, seq vs 2 vs 4 workers --- *)
+  let budget_spec = "smt=50,vm=500000,lift=100000,nodes=50000,taint=200000" in
+  let policy =
+    { Engines.Supervisor.default_policy with
+      budget =
+        (match Robust.Budget.parse budget_spec with
+         | Ok b -> b
+         | Error e -> failwith e) }
+  in
+  let det_bombs =
+    List.filter
+      (fun (b : Bombs.Common.t) -> b.name <> "srand_bomb")
+      Bombs.Catalog.table2
+  in
+  let render = Engines.Eval.render_table2 in
+  (* fleet passes first: while they run, the cells execute in freshly
+     forked workers, so the master's heap and caches stay cold for the
+     sequential baseline measured last *)
+  Printf.printf "fleet table2 (budgeted, %d bombs): 4 workers...\n%!"
+    (List.length det_bombs);
+  let w4_s, w4 =
+    wall (fun () ->
+        Engines.Parallel.run_table2 ~policy ~bombs:det_bombs ~workers:4 ())
+  in
+  Printf.printf "  2 workers...\n%!";
+  let w2_s, w2 =
+    wall (fun () ->
+        Engines.Parallel.run_table2 ~policy ~bombs:det_bombs ~workers:2 ())
+  in
+  Printf.printf "  sequential...\n%!";
+  let seq_s, seq =
+    wall (fun () -> Engines.Eval.run_table2 ~policy ~bombs:det_bombs ())
+  in
+  let identical = render seq = render w2 && render seq = render w4 in
+  (* --- straggler: fleet watchdog vs a sequential run that stalls --- *)
+  let straggler_cap = 120. in
+  let straggler_timeout = 8. in
+  Printf.printf "fleet straggler: 4 workers + %.0fs watchdog...\n%!"
+    straggler_timeout;
+  let straggler_bombs = [ Bombs.Catalog.find "srand_bomb" ] in
+  let kills_before = Telemetry.Metrics.counter_value "fleet.watchdog_kills" in
+  let fleet_straggler_s, _ =
+    wall (fun () ->
+        Engines.Parallel.run_table2 ~bombs:straggler_bombs ~workers:4
+          ~task_timeout:straggler_timeout ())
+  in
+  let watchdog_kills =
+    Telemetry.Metrics.counter_value "fleet.watchdog_kills" - kills_before
+  in
+  Printf.printf "  sequential (capped at %.0fs)...\n%!" straggler_cap;
+  let seq_straggler_s, seq_censored =
+    (* a stalled sequential run can't be interrupted from within (the
+       supervisor swallows everything), so it runs in a forked child
+       killed at the cap *)
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        Unix.close Unix.stdout;
+        (try
+           ignore (Engines.Eval.run_table2 ~bombs:straggler_bombs ());
+           Unix._exit 0
+         with _ -> Unix._exit 1)
+    | pid ->
+        let t0 = Unix.gettimeofday () in
+        let rec poll () =
+          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          | 0, _ ->
+              if Unix.gettimeofday () -. t0 > straggler_cap then begin
+                Unix.kill pid Sys.sigkill;
+                ignore (Unix.waitpid [] pid);
+                (Unix.gettimeofday () -. t0, true)
+              end
+              else begin
+                ignore (Unix.select [] [] [] 0.25);
+                poll ()
+              end
+          | _ -> (Unix.gettimeofday () -. t0, false)
+        in
+        poll ()
+  in
+  (* --- queue: trivial-task latency under thousands of cells --- *)
+  Printf.printf "fleet queue soak...\n%!";
+  let queue_tasks = 5000 in
+  let pool =
+    Fleet.Pool.create
+      ~config:{ Fleet.Pool.default_config with workers = 4 }
+      (fun ~attempt:_ ~key:_ task -> task)
+  in
+  let queue_s, latencies =
+    wall (fun () ->
+        for i = 1 to queue_tasks do
+          Fleet.Pool.submit pool ~key:(string_of_int i) ~task:"x"
+        done;
+        let results = Fleet.Pool.drain pool in
+        List.map
+          (fun (r : Fleet.Pool.result) -> r.r_done -. r.r_submitted)
+          results)
+  in
+  Fleet.Pool.shutdown pool;
+  let sorted = List.sort compare latencies in
+  let arr = Array.of_list sorted in
+  let pct p =
+    if Array.length arr = 0 then 0.
+    else
+      arr.(min (Array.length arr - 1)
+             (int_of_float (p *. float_of_int (Array.length arr))))
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"cores\": %d,\n\
+      \  \"table2\": {\"bombs\": %d, \"tools\": 4, \"budget\": %S,\n\
+      \    \"sequential_wall_s\": %.3f, \"workers2_wall_s\": %.3f, \
+       \"workers4_wall_s\": %.3f,\n\
+      \    \"speedup_2w\": %.2f, \"speedup_4w\": %.2f, \
+       \"identical_tables\": %b},\n\
+      \  \"straggler\": {\"grid\": \"srand_bomb x 4 tools, no budget\",\n\
+      \    \"sequential_wall_s\": %.3f, \"sequential_censored\": %b, \
+       \"cap_s\": %.0f,\n\
+      \    \"fleet4_wall_s\": %.3f, \"task_timeout_s\": %.0f, \
+       \"watchdog_kills\": %d, \"speedup\": %.2f},\n\
+      \  \"queue\": {\"tasks\": %d, \"workers\": 4, \"wall_s\": %.3f, \
+       \"throughput_per_s\": %.0f,\n\
+      \    \"latency_ms\": {\"p50\": %.3f, \"p95\": %.3f, \"p99\": %.3f}}\n\
+       }\n"
+      cores (List.length det_bombs) budget_spec seq_s w2_s w4_s
+      (seq_s /. w2_s) (seq_s /. w4_s) identical seq_straggler_s seq_censored
+      straggler_cap fleet_straggler_s straggler_timeout watchdog_kills
+      (seq_straggler_s /. fleet_straggler_s)
+      queue_tasks queue_s
+      (float_of_int queue_tasks /. queue_s)
+      (1e3 *. pct 0.50) (1e3 *. pct 0.95) (1e3 *. pct 0.99)
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "table2 (budgeted, %d bombs): seq %.1fs, 2w %.1fs (%.2fx), 4w %.1fs \
+     (%.2fx), identical: %b\n"
+    (List.length det_bombs) seq_s w2_s (seq_s /. w2_s) w4_s (seq_s /. w4_s)
+    identical;
+  Printf.printf
+    "straggler: seq %.1fs%s, fleet-4 + watchdog %.1fs (%.1fx, %d kills)\n"
+    seq_straggler_s
+    (if seq_censored then " (censored at cap)" else "")
+    fleet_straggler_s
+    (seq_straggler_s /. fleet_straggler_s)
+    watchdog_kills;
+  Printf.printf
+    "queue: %d tasks in %.2fs (%.0f/s), latency p50 %.2f ms p99 %.2f ms\n"
+    queue_tasks queue_s
+    (float_of_int queue_tasks /. queue_s)
+    (1e3 *. pct 0.50) (1e3 *. pct 0.99);
+  print_endline "wrote BENCH_fleet.json"
+
 let () =
   (* `bench --solver-report` / `--robust-report` / `--trace-report`
      skip the Bechamel timing loop and only regenerate the
@@ -465,6 +655,10 @@ let () =
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--trace-report" then begin
     trace_report ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--fleet-report" then begin
+    fleet_report ();
     exit 0
   end;
   let cfg = Benchmark.cfg ~limit:6 ~quota:(Time.second 1.5) () in

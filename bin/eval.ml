@@ -42,8 +42,12 @@ let set_trace_dir = function
 
 let run_table2_common ~require_journal no_incremental no_ladder budget_spec
     retries backoff tools_filter bombs_filter journal kill_after kill_torn
-    trace_dir =
+    trace_dir workers =
   set_trace_dir trace_dir;
+  if workers < 1 then begin
+    Printf.eprintf "--workers must be >= 1\n";
+    exit 2
+  end;
   let tools = parse_tools tools_filter in
   let bombs =
     match bombs_filter with
@@ -73,25 +77,121 @@ let run_table2_common ~require_journal no_incremental no_ladder budget_spec
       Some
         { Engines.Eval.journal_path = path; kill_after; kill_torn }
   in
-  match
-    Engines.Eval.run_table2 ~incremental:(not no_incremental) ?ladder ~policy
-      ~tools ~bombs ?journal ()
-  with
-  | r -> print_string (Engines.Eval.render_table2 r)
-  | exception Engines.Eval.Simulated_crash ->
-    Printf.eprintf "simulated crash after --kill-after cells\n";
-    exit kill_exit_code
+  if workers > 1 then begin
+    (* fleet path: same grid, same journal semantics, sharded across
+       forked workers; the crash simulation is sequential-only *)
+    if kill_after <> None || kill_torn then begin
+      Printf.eprintf "--kill-after/--kill-torn require --workers 1\n";
+      exit 2
+    end;
+    let r =
+      Engines.Parallel.run_table2 ~incremental:(not no_incremental) ?ladder
+        ~policy ~tools ~bombs
+        ?journal_path:
+          (Option.map (fun j -> j.Engines.Eval.journal_path) journal)
+        ~workers ()
+    in
+    print_string (Engines.Eval.render_table2 r)
+  end
+  else
+    match
+      Engines.Eval.run_table2 ~incremental:(not no_incremental) ?ladder
+        ~policy ~tools ~bombs ?journal ()
+    with
+    | r -> print_string (Engines.Eval.render_table2 r)
+    | exception Engines.Eval.Simulated_crash ->
+      Printf.eprintf "simulated crash after --kill-after cells\n";
+      exit kill_exit_code
 
 let run_table2 no_incremental no_ladder budget_spec retries backoff
-    tools_filter bombs_filter journal kill_after kill_torn trace_dir =
+    tools_filter bombs_filter journal kill_after kill_torn trace_dir workers =
   run_table2_common ~require_journal:false no_incremental no_ladder
     budget_spec retries backoff tools_filter bombs_filter journal kill_after
-    kill_torn trace_dir
+    kill_torn trace_dir workers
 
 let run_resume no_incremental no_ladder budget_spec retries backoff
-    tools_filter bombs_filter journal trace_dir =
+    tools_filter bombs_filter journal trace_dir workers =
   run_table2_common ~require_journal:true no_incremental no_ladder budget_spec
     retries backoff tools_filter bombs_filter journal None false trace_dir
+    workers
+
+(* ------------------------------------------------------------------ *)
+(* Fleet service: serve / submit / drain                               *)
+(* ------------------------------------------------------------------ *)
+
+let run_serve socket workers max_queue trace_dir =
+  set_trace_dir trace_dir;
+  if workers < 1 then begin
+    Printf.eprintf "--workers must be >= 1\n";
+    exit 2
+  end;
+  match Engines.Service.serve ~workers ~max_queue ~socket () with
+  | () -> ()
+  | exception Fleet.Serve.Socket_in_use path ->
+    Printf.eprintf
+      "serve: a daemon is already listening on %s (use `eval drain` to \
+       stop it, or pick another --socket)\n"
+      path;
+    exit 2
+  | exception Fleet.Serve.Stale_socket path ->
+    Printf.eprintf
+      "serve: stale socket %s — no daemon is listening, but the file \
+       exists (a previous daemon died without cleanup). Remove it and \
+       retry.\n"
+      path;
+    exit 2
+
+let run_submit socket tools_filter bombs_filter budget_spec retries backoff
+    no_incremental no_ladder =
+  let tools = parse_tools tools_filter in
+  let bombs =
+    match bombs_filter with
+    | [] -> List.map (fun (b : Bombs.Common.t) -> b.name) Bombs.Catalog.table2
+    | names ->
+      List.map (fun n -> (Bombs.Catalog.find n).Bombs.Common.name) names
+  in
+  (match budget_spec with
+   | None -> ()
+   | Some spec -> (
+       match Robust.Budget.parse spec with
+       | Ok _ -> ()
+       | Error e ->
+         Printf.eprintf "bad --budget: %s\n" e;
+         exit 2));
+  let requests =
+    List.concat_map
+      (fun bomb ->
+         List.map
+           (fun tool ->
+              Engines.Service.encode_request
+                ~id:(Engines.Profile.name tool ^ "/" ^ bomb)
+                ~tool ~bomb ?budget:budget_spec ~retries ~backoff
+                ~incremental:(not no_incremental) ~ladder:(not no_ladder) ())
+           tools)
+      bombs
+  in
+  match
+    Engines.Service.submit ~socket ~on_line:print_endline requests
+  with
+  | failures -> if failures > 0 then exit 1
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "submit: cannot reach daemon on %s: %s\n" socket
+      (Unix.error_message e);
+    exit 2
+  | exception End_of_file ->
+    Printf.eprintf "submit: daemon on %s hung up mid-stream\n" socket;
+    exit 2
+
+let run_drain socket =
+  match Engines.Service.drain ~socket ~on_line:print_endline () with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Printf.eprintf "drain: cannot reach daemon on %s: %s\n" socket
+      (Unix.error_message e);
+    exit 2
+  | exception End_of_file ->
+    Printf.eprintf "drain: daemon on %s hung up mid-stream\n" socket;
+    exit 2
 
 let run_fig3 trace_dir =
   set_trace_dir trace_dir;
@@ -371,11 +471,20 @@ let trace_dir_arg =
             in $(docv) and reuse matching ones instead of re-running \
             the VM (also settable via $(b,TRACE_DIR); the flag wins)")
 
+let workers_arg =
+  Arg.(value & opt int 1
+       & info [ "workers" ] ~docv:"N"
+         ~doc:
+           "Shard the grid across $(docv) forked worker processes \
+            (the evaluation fleet). With --journal, each worker \
+            write-ahead journals its cells and the shards are merged \
+            into one canonical journal at the end. 1 = sequential.")
+
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II")
     Term.(const run_table2 $ no_incremental_arg $ no_ladder_arg $ budget_arg
           $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
-          $ kill_after_arg $ kill_torn_arg $ trace_dir_arg)
+          $ kill_after_arg $ kill_torn_arg $ trace_dir_arg $ workers_arg)
 
 let resume_cmd =
   Cmd.v
@@ -387,7 +496,58 @@ let resume_cmd =
           run so the fingerprints match)")
     Term.(const run_resume $ no_incremental_arg $ no_ladder_arg $ budget_arg
           $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
+          $ trace_dir_arg $ workers_arg)
+
+let socket_arg =
+  Arg.(value & opt string "eval.sock"
+       & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket the daemon listens on")
+
+let serve_cmd =
+  let serve_workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+           ~doc:"Fleet worker processes answering requests")
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 10_000
+         & info [ "max-queue" ] ~docv:"N"
+           ~doc:
+             "Backpressure: reject submissions once $(docv) requests \
+              are queued (not yet running)")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the evaluation daemon: accept line-framed JSON cell \
+          requests (bomb + tool profile + budget) on a Unix-domain \
+          socket, shard them across a fleet of forked workers, and \
+          stream graded outcomes (with Es-stage and degradation \
+          attribution) back to each submitter. Refuses to bind over a \
+          live or stale socket. Runs until `eval drain` (or SIGINT), \
+          which finishes the queue and removes the socket.")
+    Term.(const run_serve $ socket_arg $ serve_workers_arg $ max_queue_arg
           $ trace_dir_arg)
+
+let submit_cmd =
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit Table II cells to a running `eval serve` daemon (one \
+          request per --tool x --bomb combination; defaults to the \
+          full grid) and stream the graded outcome lines as they \
+          complete. Exits 1 if any cell fails.")
+    Term.(const run_submit $ socket_arg $ tools_arg $ bombs_arg $ budget_arg
+          $ retries_arg $ backoff_arg $ no_incremental_arg $ no_ladder_arg)
+
+let drain_cmd =
+  Cmd.v
+    (Cmd.info "drain"
+       ~doc:
+         "Ask the daemon to finish every queued request, shut down \
+          and remove its socket; streams status lines until the final \
+          drained acknowledgement.")
+    Term.(const run_drain $ socket_arg)
 
 let chaos_cmd =
   let seed_arg =
@@ -455,7 +615,7 @@ let all_cmd =
     print_newline ();
     run_sizes ();
     print_newline ();
-    run_table2 false false None 0 10.0 [] [] None None false None;
+    run_table2 false false None 0 10.0 [] [] None None false None 1;
     print_newline ();
     run_fig3 None;
     print_newline ();
@@ -525,4 +685,5 @@ let () =
   exit (Cmd.eval (Cmd.group ~default:explain_term info
                     [ table1_cmd; table2_cmd; resume_cmd; fig3_cmd;
                       sizes_cmd; negative_cmd; validate_trace_cmd;
-                      chaos_cmd; debug_cmd; all_cmd ]))
+                      chaos_cmd; debug_cmd; serve_cmd; submit_cmd;
+                      drain_cmd; all_cmd ]))

@@ -71,13 +71,19 @@ type source = { s_addr : int64; s_len : int; s_prefix : string }
 (** argv.(1) as the symbolic input, named [argv1_0 .. argv1_{n-1}]
     (NUL excluded so its terminator stays concrete — tools fixing the
     length do exactly this; [include_nul] widens it). *)
-let argv1_source ?(include_nul = false) (trace : Trace.t) =
+let argv1_source_opt ?(include_nul = false) (trace : Trace.t) =
   match Trace.argv_region trace 1 with
-  | None -> invalid_arg "argv1_source: traced program has no argv.(1)"
+  | None -> None
   | Some (addr, len) ->
-    { s_addr = addr;
-      s_len = (if include_nul then len else len - 1);
-      s_prefix = "argv1" }
+    Some
+      { s_addr = addr;
+        s_len = (if include_nul then len else len - 1);
+        s_prefix = "argv1" }
+
+let argv1_source ?include_nul (trace : Trace.t) =
+  match argv1_source_opt ?include_nul trace with
+  | Some s -> s
+  | None -> invalid_arg "argv1_source: traced program has no argv.(1)"
 
 let m_constraints = Telemetry.Metrics.counter "concolic.constraints"
 let m_sym_branches = Telemetry.Metrics.counter "concolic.sym_branches"
@@ -86,7 +92,18 @@ let run (config : config) ?session ?(sources : source list option)
     (trace : Trace.t) : path =
   Telemetry.with_span "concolic.trace_exec" @@ fun () ->
   let sources =
-    match sources with Some s -> s | None -> [ argv1_source trace ]
+    match sources with
+    | Some s -> s
+    | None -> (
+        (* a trace with no argv.(1) runs fully concrete rather than
+           aborting the cell *)
+        match argv1_source_opt trace with
+        | Some s -> [ s ]
+        | None ->
+            Telemetry.Log.warnf
+              "trace_exec: traced program has no argv.(1); no symbolic \
+               sources";
+            [])
   in
   (* --- concrete replica --- *)
   let mem, _rsp, _layout =

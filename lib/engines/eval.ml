@@ -78,16 +78,42 @@ let journal_fingerprint ?incremental ?ladder ?policy ~tools ~bombs () =
             [ b.name; b.category; Asm.Image.to_bytes (Bombs.Catalog.image b) ])
          bombs)
 
+(** A {!cell_result} from an already-supervised outcome (journal
+    replay, fleet worker payload). *)
+let cell_of_outcome tool (bomb : Bombs.Common.t) (o : Supervisor.outcome) =
+  { tool;
+    bomb = bomb.name;
+    measured = o.Supervisor.graded.cell;
+    expected = Paper.expected bomb.name tool;
+    graded = o.Supervisor.graded;
+    robust = o }
+
+(** Fold finished cells into the table: per-tool solved counts and the
+    paper-agreement ratio.  Shared by the sequential and fleet paths so
+    both render identically. *)
+let collate ~tools cells : table2_result =
+  let solved =
+    List.map
+      (fun tool ->
+         ( tool,
+           List.length
+             (List.filter
+                (fun c -> c.tool = tool && c.measured = Success)
+                cells) ))
+      tools
+  in
+  let matches, total =
+    List.fold_left
+      (fun (m, t) c ->
+         match c.expected with
+         | Some e -> ((if equal_cell e c.measured then m + 1 else m), t + 1)
+         | None -> (m, t))
+      (0, 0) cells
+  in
+  { cells; solved; agreement = (matches, total) }
+
 let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
     ?(bombs = Bombs.Catalog.table2) ?journal () : table2_result =
-  let cell_of_outcome tool (bomb : Bombs.Common.t) (o : Supervisor.outcome) =
-    { tool;
-      bomb = bomb.name;
-      measured = o.Supervisor.graded.cell;
-      expected = Paper.expected bomb.name tool;
-      graded = o.Supervisor.graded;
-      robust = o }
-  in
   let run_journaled (jc : journal) =
     let fp = journal_fingerprint ?incremental ?ladder ?policy ~tools ~bombs () in
     let loaded = Robust.Journal.load ~fingerprint:fp jc.journal_path in
@@ -150,25 +176,7 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
                tools)
           bombs
   in
-  let solved =
-    List.map
-      (fun tool ->
-         ( tool,
-           List.length
-             (List.filter
-                (fun c -> c.tool = tool && c.measured = Success)
-                cells) ))
-      tools
-  in
-  let matches, total =
-    List.fold_left
-      (fun (m, t) c ->
-         match c.expected with
-         | Some e -> ((if equal_cell e c.measured then m + 1 else m), t + 1)
-         | None -> (m, t))
-      (0, 0) cells
-  in
-  { cells; solved; agreement = (matches, total) }
+  collate ~tools cells
 
 (* ------------------------------------------------------------------ *)
 (* Figure 3: tainted instructions with and without printf              *)
@@ -194,15 +202,19 @@ let run_fig3 () =
     let bomb = Bombs.Catalog.find name in
     let config = Bombs.Common.config_for bomb "7" in
     let trace = Trace.record ~config (Bombs.Catalog.image bomb) in
-    let addr, len =
+    (* argv_region is total but can come back empty (a bomb recorded
+       with no argv[1]); degrade to an empty source list with a warning
+       instead of aborting the whole figure *)
+    let sources =
       match Trace.argv_region trace 1 with
-      | Some r -> r
-      | None -> failwith "fig3 bomb has no argv.(1)"
+      | Some (addr, len) -> [ (addr, len - 1) ]
+      | None ->
+          Telemetry.Log.warnf
+            "fig3: %s recorded no argv[1] region; taint sources empty" name;
+          []
     in
     let before = Telemetry.Metrics.counter_value Taint.metric_tainted_insns in
-    let taint =
-      Taint.analyze ~sources:[ (addr, len - 1) ] trace
-    in
+    let taint = Taint.analyze ~sources trace in
     let tainted =
       Telemetry.Metrics.counter_value Taint.metric_tainted_insns - before
     in

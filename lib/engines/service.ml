@@ -1,0 +1,245 @@
+(** The [eval serve] analysis service: request/response codec, the
+    worker-side runner, and the line-oriented clients behind
+    [eval submit] / [eval drain].
+
+    A request is one JSON line:
+    [{"op":"submit","id":ID,"tool":T,"bomb":B,"budget":SPEC|null,
+      "retries":N,"backoff":F,"incremental":BOOL,"ladder":BOOL}]
+    — a Table II cell (bomb + tool profile) plus its supervision
+    budget.  The daemon ({!Fleet.Serve}) acks it as queued and later
+    streams back the graded outcome:
+    [{"id":ID,"status":"done","key":"TOOL/bomb","grade":G,
+      "cause":C|null,"stage":Es|null,"attempts":N,
+      "outcome":<full supervised outcome>}]
+    with [cause]/[stage] carrying the supervisor's attribution
+    ([degraded:give_up], [exhausted:smt], …, [Es0]..[Es3]) and
+    [outcome] the complete {!Journal_codec} record. *)
+
+open Telemetry.Trace_check
+
+let esc = Robust.Journal.json_escape
+let str s = "\"" ^ esc s ^ "\""
+
+(* ------------------------------------------------------------------ *)
+(* Requests                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let encode_request ~id ~tool ~bomb ?budget ?(retries = 0) ?(backoff = 10.0)
+    ?(incremental = true) ?(ladder = true) () =
+  Printf.sprintf
+    "{\"op\":\"submit\",\"id\":%s,\"tool\":%s,\"bomb\":%s,\"budget\":%s,\
+     \"retries\":%d,\"backoff\":%g,\"incremental\":%b,\"ladder\":%b}"
+    (str id) (str (Profile.name tool)) (str bomb)
+    (match budget with None -> "null" | Some s -> str s)
+    retries backoff incremental ladder
+
+type request = {
+  rq_id : string option;
+  rq_tool : Profile.tool;
+  rq_bomb : Bombs.Common.t;
+  rq_policy : Supervisor.policy;
+  rq_incremental : bool;
+  rq_ladder : bool;  (** false: run with the degradation ladder off *)
+}
+
+let decode_request line : (request, string) Stdlib.result =
+  match parse_opt line with
+  | None -> Error "request is not valid JSON"
+  | Some j -> (
+      let id = match member "id" j with Some (Str s) -> Some s | _ -> None in
+      let bool_field name default =
+        match member name j with Some (Bool b) -> b | _ -> default
+      in
+      match (member "tool" j, member "bomb" j) with
+      | Some (Str t), Some (Str b) -> (
+          match (Profile.of_name t, Bombs.Catalog.find_opt b) with
+          | None, _ -> Error (Printf.sprintf "unknown tool %S" t)
+          | _, None -> Error (Printf.sprintf "unknown bomb %S" b)
+          | Some tool, Some bomb -> (
+              let budget =
+                match member "budget" j with
+                | Some (Str spec) -> (
+                    match Robust.Budget.parse spec with
+                    | Ok b -> Ok b
+                    | Error e -> Error ("bad budget: " ^ e))
+                | _ -> Ok Robust.Budget.unlimited
+              in
+              match budget with
+              | Error e -> Error e
+              | Ok budget ->
+                  let retries =
+                    match member "retries" j with
+                    | Some (Num n) -> int_of_float n
+                    | _ -> 0
+                  in
+                  let backoff =
+                    match member "backoff" j with
+                    | Some (Num f) -> f
+                    | _ -> 10.0
+                  in
+                  Ok
+                    { rq_id = id;
+                      rq_tool = tool;
+                      rq_bomb = bomb;
+                      rq_policy =
+                        { Supervisor.default_policy with
+                          budget; retries; backoff };
+                      rq_incremental = bool_field "incremental" true;
+                      rq_ladder = bool_field "ladder" true }))
+      | _ -> Error "request needs string fields \"tool\" and \"bomb\"")
+
+(* ------------------------------------------------------------------ *)
+(* Worker runner                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let opt_id = function None -> "null" | Some i -> str i
+
+let error_response ~id msg =
+  Printf.sprintf "{\"id\":%s,\"status\":\"error\",\"error\":%s}" (opt_id id)
+    (str msg)
+
+(** Runs inside a {!Fleet.Pool} worker: decode the request line, run
+    the supervised cell, encode the streamed outcome.  Total — every
+    failure becomes an error response line, so the daemon never sees a
+    raising runner for a malformed request. *)
+let worker_run ~attempt ~key:_ (task : string) : string =
+  match decode_request task with
+  | Error msg -> error_response ~id:None msg
+  | Ok rq -> (
+      (* a worker died on this request before: escalate the budget by
+         the request's own backoff, like a supervisor retry *)
+      let policy =
+        if attempt <= 1 then rq.rq_policy
+        else
+          { rq.rq_policy with
+            budget =
+              Robust.Budget.scale
+                (rq.rq_policy.backoff ** float_of_int (attempt - 1))
+                rq.rq_policy.budget }
+      in
+      match
+        Supervisor.run_cell ~incremental:rq.rq_incremental
+          ?ladder:(if rq.rq_ladder then None else Some []) ~policy rq.rq_tool
+          rq.rq_bomb
+      with
+      | o ->
+          Printf.sprintf
+            "{\"id\":%s,\"status\":\"done\",\"key\":%s,\"grade\":%s,\
+             \"cause\":%s,\"stage\":%s,\"attempts\":%d,\"outcome\":%s}"
+            (opt_id rq.rq_id)
+            (str (Eval.cell_key rq.rq_tool rq.rq_bomb))
+            (Journal_codec.encode_cell o.Supervisor.graded.cell)
+            (match o.Supervisor.cause with
+             | None -> "null"
+             | Some c -> str (Supervisor.cause_name c))
+            (match o.Supervisor.stage with
+             | None -> "null"
+             | Some s -> str (Journal_codec.encode_stage s))
+            o.Supervisor.attempts
+            (Journal_codec.encode_outcome o)
+      | exception e ->
+          error_response ~id:rq.rq_id
+            ("cell raised: " ^ Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon entry                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Run the [eval serve] daemon on [socket] until drained.  Raises
+    {!Fleet.Serve.Socket_in_use} / {!Fleet.Serve.Stale_socket} instead
+    of binding over an existing socket. *)
+let serve ?(workers = 2) ?(max_queue = 10_000) ~socket () =
+  let pool =
+    Fleet.Pool.create
+      ~config:{ Fleet.Pool.default_config with workers; respawns = 1 }
+      worker_run
+  in
+  match
+    Fleet.Serve.run
+      { (Fleet.Serve.default_config ~socket) with max_queue }
+      ~pool
+  with
+  | () -> ()
+  | exception e ->
+      Fleet.Pool.shutdown pool;
+      raise e
+
+(* ------------------------------------------------------------------ *)
+(* Clients                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let with_connection socket f =
+  let fd = connect socket in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+       f (Unix.in_channel_of_descr fd) (Unix.out_channel_of_descr fd))
+
+let status_of_line line =
+  match Option.bind (parse_opt line) (member "status") with
+  | Some (Str s) -> Some s
+  | _ -> None
+
+(** Submit every request line and stream responses to [on_line] until
+    each request has its final answer (done / error / rejected).
+    Returns the number of requests that did not come back [done]. *)
+let submit ~socket ?(on_line = fun (_ : string) -> ()) (requests : string list)
+  : int =
+  with_connection socket @@ fun ic oc ->
+  List.iter
+    (fun r ->
+       output_string oc r;
+       output_char oc '\n')
+    requests;
+  flush oc;
+  let total = List.length requests in
+  let finals = ref 0 in
+  let failures = ref 0 in
+  while !finals < total do
+    let line = input_line ic in
+    on_line line;
+    match status_of_line line with
+    | Some "queued" -> ()
+    | Some "done" -> incr finals
+    | Some ("error" | "rejected") ->
+        incr finals;
+        incr failures
+    | _ -> ()
+  done;
+  !failures
+
+(** Ask the daemon to finish its queue and shut down; streams status
+    lines until the final [drained] acknowledgement. *)
+let drain ~socket ?(on_line = fun (_ : string) -> ()) () : unit =
+  with_connection socket @@ fun ic oc ->
+  output_string oc "{\"op\":\"drain\"}\n";
+  flush oc;
+  let rec wait () =
+    let line = input_line ic in
+    on_line line;
+    if status_of_line line <> Some "drained" then wait ()
+  in
+  wait ()
+
+(** Liveness probe: the daemon's queue depth, or [None] if nothing
+    answers on the socket. *)
+let ping ~socket () : int option =
+  match
+    with_connection socket @@ fun ic oc ->
+    output_string oc "{\"op\":\"ping\"}\n";
+    flush oc;
+    input_line ic
+  with
+  | line -> (
+      match Option.bind (parse_opt line) (member "pending") with
+      | Some (Num n) -> Some (int_of_float n)
+      | _ -> None)
+  | exception (Unix.Unix_error _ | End_of_file | Sys_error _) -> None

@@ -1,0 +1,262 @@
+(** [eval serve]'s engine-agnostic core: a Unix-domain-socket daemon
+    that accepts line-framed JSON requests, queues them into a
+    {!Pool}, and streams each task's outcome back to the client that
+    submitted it.
+
+    Protocol — one JSON object per line, both directions:
+    - [{"op":"submit","id":ID,…}] enqueues the whole request line as a
+      pool task (the pool's runner owns the request schema).  Answered
+      immediately with [{"id":ID,"status":"queued","pending":N}] — or
+      [{"id":ID,"status":"rejected","error":…}] when the queue is at
+      [max_queue] (backpressure) or the daemon is draining — and later
+      with the runner's own response line (which must carry the id).
+    - [{"op":"ping"}] → [{"status":"ok","pending":N}] — liveness, also
+      used by {!check_socket} to distinguish a live daemon from a
+      stale socket file.
+    - [{"op":"stats"}] → queue/completion counters.
+    - [{"op":"drain"}] → [{"status":"draining","pending":N}] now, one
+      [{"status":"drained","completed":N}] when the queue is empty;
+      then the daemon closes everything, unlinks the socket and
+      returns.  SIGINT/SIGTERM trigger the same cooperative drain. *)
+
+let m_requests = Telemetry.Metrics.counter "serve.requests"
+let m_rejected = Telemetry.Metrics.counter "serve.rejected"
+let m_responses = Telemetry.Metrics.counter "serve.responses"
+let m_dropped = Telemetry.Metrics.counter "serve.dropped_responses"
+let m_clients = Telemetry.Metrics.counter "serve.clients"
+
+type config = {
+  socket : string;
+  max_queue : int;  (** submit backpressure: max queued (not running) *)
+  accept_backlog : int;
+}
+
+let default_config ~socket =
+  { socket; max_queue = 10_000; accept_backlog = 64 }
+
+(* ------------------------------------------------------------------ *)
+(* Stale-socket detection                                              *)
+(* ------------------------------------------------------------------ *)
+
+exception Socket_in_use of string
+    (** a live daemon answered on the socket *)
+
+exception Stale_socket of string
+    (** the path exists but nothing is listening (a previous daemon
+        died without cleanup) *)
+
+(** Probe [path] before binding: raises {!Socket_in_use} if a daemon
+    is already serving there, {!Stale_socket} if the file exists but
+    is dead — the caller gets a clear error either way instead of
+    [EADDRINUSE]. *)
+let check_socket path =
+  if Sys.file_exists path then begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect fd (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error _ -> false
+    in
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    if live then raise (Socket_in_use path) else raise (Stale_socket path)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Daemon                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type client = {
+  c_fd : Unix.file_descr;
+  c_buf : Buffer.t;
+  mutable c_alive : bool;
+  mutable c_draining : bool;  (** owes a final "drained" message *)
+}
+
+type state = {
+  cfg : config;
+  pool : Pool.t;
+  listen_fd : Unix.file_descr;
+  mutable clients : client list;
+  (* pool task tag -> submitting client (may be dead by completion) *)
+  routes : (string, client) Hashtbl.t;
+  mutable next_tag : int;
+  mutable draining : bool;
+  mutable completed : int;
+}
+
+let esc = Robust.Journal.json_escape
+
+let send_line st (c : client) line =
+  if c.c_alive then begin
+    match Pool.write_all c.c_fd (line ^ "\n") with
+    | () -> Telemetry.Metrics.incr m_responses
+    | exception Unix.Unix_error _ ->
+        c.c_alive <- false;
+        st.clients <- List.filter (fun x -> x != c) st.clients;
+        (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+  end
+  else Telemetry.Metrics.incr m_dropped
+
+let reject st c ~id msg =
+  Telemetry.Metrics.incr m_rejected;
+  send_line st c
+    (Printf.sprintf "{\"id\":%s,\"status\":\"rejected\",\"error\":\"%s\"}"
+       (match id with Some i -> "\"" ^ esc i ^ "\"" | None -> "null")
+       (esc msg))
+
+let handle_request st (c : client) line =
+  Telemetry.Metrics.incr m_requests;
+  let open Telemetry.Trace_check in
+  match parse_opt line with
+  | None -> reject st c ~id:None "request is not valid JSON"
+  | Some j -> (
+      let id =
+        match member "id" j with Some (Str s) -> Some s | _ -> None
+      in
+      match member "op" j with
+      | Some (Str "ping") ->
+          send_line st c
+            (Printf.sprintf "{\"status\":\"ok\",\"pending\":%d}"
+               (Pool.pending st.pool))
+      | Some (Str "stats") ->
+          send_line st c
+            (Printf.sprintf
+               "{\"status\":\"ok\",\"queued\":%d,\"inflight\":%d,\
+                \"completed\":%d,\"clients\":%d,\"draining\":%b}"
+               (Pool.queued st.pool) (Pool.inflight st.pool) st.completed
+               (List.length st.clients) st.draining)
+      | Some (Str "drain") ->
+          st.draining <- true;
+          c.c_draining <- true;
+          send_line st c
+            (Printf.sprintf "{\"status\":\"draining\",\"pending\":%d}"
+               (Pool.pending st.pool))
+      | Some (Str "submit") ->
+          if st.draining then reject st c ~id "daemon is draining"
+          else if Pool.queued st.pool >= st.cfg.max_queue then
+            reject st c ~id
+              (Printf.sprintf "queue full (max %d)" st.cfg.max_queue)
+          else begin
+            let tag = Printf.sprintf "r%d" st.next_tag in
+            st.next_tag <- st.next_tag + 1;
+            Hashtbl.replace st.routes tag c;
+            Pool.submit st.pool ~key:tag ~task:line;
+            send_line st c
+              (Printf.sprintf
+                 "{\"id\":%s,\"status\":\"queued\",\"pending\":%d}"
+                 (match id with
+                  | Some i -> "\"" ^ esc i ^ "\""
+                  | None -> "null")
+                 (Pool.pending st.pool))
+          end
+      | _ -> reject st c ~id "unknown op (submit, ping, stats, drain)")
+
+let route_result st (r : Pool.result) =
+  st.completed <- st.completed + 1;
+  match Hashtbl.find_opt st.routes r.r_key with
+  | None -> Telemetry.Metrics.incr m_dropped
+  | Some c ->
+      Hashtbl.remove st.routes r.r_key;
+      (match r.r_payload with
+       | Ok payload -> send_line st c payload
+       | Error f ->
+           send_line st c
+             (Printf.sprintf "{\"status\":\"error\",\"error\":\"%s\"}"
+                (esc (Pool.failure_to_string f))))
+
+let pump_client st (c : client) =
+  let chunk = Bytes.create 65536 in
+  match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
+  | 0 ->
+      c.c_alive <- false;
+      st.clients <- List.filter (fun x -> x != c) st.clients;
+      (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+  | n ->
+      Buffer.add_subbytes c.c_buf chunk 0 n;
+      let data = Buffer.contents c.c_buf in
+      let rec split from =
+        match String.index_from_opt data from '\n' with
+        | None ->
+            Buffer.clear c.c_buf;
+            Buffer.add_substring c.c_buf data from (String.length data - from)
+        | Some i ->
+            let line = String.sub data from (i - from) in
+            if String.trim line <> "" then handle_request st c line;
+            split (i + 1)
+      in
+      split 0
+  | exception
+      Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+    ->
+      ()
+  | exception Unix.Unix_error _ ->
+      c.c_alive <- false;
+      st.clients <- List.filter (fun x -> x != c) st.clients;
+      (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+
+(** Run the daemon until a drain request (or SIGINT/SIGTERM) empties
+    the queue.  Binds [cfg.socket], refusing a live or stale existing
+    socket (see {!check_socket}); unlinks it on the way out.  The pool
+    is polled from the same event loop — no threads anywhere. *)
+let run (cfg : config) ~(pool : Pool.t) : unit =
+  check_socket cfg.socket;
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
+  Unix.listen listen_fd cfg.accept_backlog;
+  let st =
+    { cfg; pool; listen_fd; clients = []; routes = Hashtbl.create 64;
+      next_tag = 0; draining = false; completed = 0 }
+  in
+  (* respawned workers must not hold the daemon's sockets open *)
+  Pool.set_at_fork pool (fun () ->
+      (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
+      List.iter
+        (fun c -> try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+        st.clients);
+  let drain_signal _ = st.draining <- true in
+  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle drain_signal) in
+  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle drain_signal) in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigterm prev_term;
+      List.iter
+        (fun c ->
+           try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+        st.clients;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (try Sys.remove cfg.socket with Sys_error _ -> ()))
+  @@ fun () ->
+  let finished () = st.draining && Pool.pending pool = 0 in
+  while not (finished ()) do
+    let rd =
+      (listen_fd :: List.map (fun c -> c.c_fd) st.clients) @ Pool.fds pool
+    in
+    (match Unix.select rd [] [] 0.2 with
+     | readable, _, _ ->
+         if List.mem listen_fd readable then begin
+           match Unix.accept listen_fd with
+           | fd, _ ->
+               Unix.set_nonblock fd;
+               Telemetry.Metrics.incr m_clients;
+               st.clients <-
+                 { c_fd = fd; c_buf = Buffer.create 256; c_alive = true;
+                   c_draining = false }
+                 :: st.clients
+           | exception Unix.Unix_error _ -> ()
+         end;
+         List.iter
+           (fun c -> if List.mem c.c_fd readable then pump_client st c)
+           st.clients
+     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    List.iter (route_result st) (Pool.poll ~timeout:0. pool)
+  done;
+  (* the queue is drained: settle the drain requesters *)
+  List.iter
+    (fun c ->
+       if c.c_draining then
+         send_line st c
+           (Printf.sprintf "{\"status\":\"drained\",\"completed\":%d}"
+              st.completed))
+    st.clients;
+  Pool.shutdown pool

@@ -157,7 +157,49 @@ type entry = {
   key : string;
   seq : int;
   cell : Telemetry.Trace_check.json;  (** opaque payload, caller-decoded *)
+  raw : string;
+      (** the payload's exact byte text, so a merge can re-append the
+          record without a decode/re-encode round trip *)
 }
+
+(* the writer's body layout is fixed ([body] above):
+   [{"fp":"…","seq":N,"key":"…","cell":<payload>}] with both strings
+   [json_escape]d, so neither contains a raw '"'.  Walk that exact
+   shape and slice out the payload text. *)
+let raw_payload_of_body (b : string) : string option =
+  let n = String.length b in
+  let expect pos lit =
+    let l = String.length lit in
+    if pos + l <= n && String.sub b pos l = lit then Some (pos + l) else None
+  in
+  let skip_escaped_string pos =
+    (* scan to the closing unescaped quote *)
+    let rec go i =
+      if i >= n then None
+      else
+        match b.[i] with
+        | '"' -> Some (i + 1)
+        | '\\' -> go (i + 2)
+        | _ -> go (i + 1)
+    in
+    go pos
+  in
+  let skip_digits pos =
+    let rec go i =
+      if i < n && (b.[i] >= '0' && b.[i] <= '9') then go (i + 1) else i
+    in
+    if pos < n then Some (go pos) else None
+  in
+  let ( let* ) = Option.bind in
+  let* p = expect 0 "{\"fp\":\"" in
+  let* p = skip_escaped_string p in
+  let* p = expect p ",\"seq\":" in
+  let* p = skip_digits p in
+  let* p = expect p ",\"key\":\"" in
+  let* p = skip_escaped_string p in
+  let* p = expect p ",\"cell\":" in
+  if n > p && b.[n - 1] = '}' then Some (String.sub b p (n - 1 - p))
+  else None
 
 type load_result = {
   entries : entry list;  (** valid matching records, last-wins per key *)
@@ -190,9 +232,13 @@ let parse_line ~fingerprint line : parsed =
       | Some j -> (
           match (member "fp" j, member "seq" j, member "key" j,
                  member "cell" j) with
-          | Some (Str fp), Some (Num seq), Some (Str key), Some cell ->
+          | Some (Str fp), Some (Num seq), Some (Str key), Some cell -> (
               if not (String.equal fp fingerprint) then Stale
-              else Valid ({ key; seq = int_of_float seq; cell }, fp)
+              else
+                match raw_payload_of_body b with
+                | Some raw ->
+                    Valid ({ key; seq = int_of_float seq; cell; raw }, fp)
+                | None -> Damaged)
           | _ -> Damaged)
 
 (** Load every record of [path] that matches [fingerprint].  A missing
