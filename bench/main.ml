@@ -641,6 +641,131 @@ let fleet_report () =
     (1e3 *. pct 0.50) (1e3 *. pct 0.99);
   print_endline "wrote BENCH_fleet.json"
 
+(* ---------------- machine-readable observability report ----------- *)
+
+(* the observability plane, measured where it could hurt:
+   - piggyback: per-task cost of the snapshot lines workers ship on
+     every reply — thousands of trivial tasks through the same pool
+     geometry with snapshots off and on.
+   - span merge: throughput of stitching per-worker span shards into
+     one Chrome timeline (synthetic shards, so the number is the
+     merger's, not the engines').
+   - profiler: Cellprof.profiled around a warm cell, phases off (the
+     disabled hot path that every fleet cell pays when --profile is
+     not given... it isn't: profiled only wraps cells when --profile
+     is set, so this bounds the flag's own cost) and phases on. *)
+let obs_report () =
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  (* --- piggyback: echo pool, snapshots off vs on --- *)
+  let tasks = 2000 in
+  Printf.printf "obs piggyback: %d echo tasks, snapshots off...\n%!" tasks;
+  let soak snapshots =
+    let pool =
+      Fleet.Pool.create
+        ~config:{ Fleet.Pool.default_config with workers = 2; snapshots }
+        (fun ~attempt:_ ~key:_ task ->
+           (* move a counter so the shipped delta is never empty *)
+           Telemetry.Metrics.incr
+             (Telemetry.Metrics.counter "bench.obs.echo");
+           task)
+    in
+    let s, _ =
+      wall (fun () ->
+          for i = 1 to tasks do
+            Fleet.Pool.submit pool ~key:(string_of_int i) ~task:"x"
+          done;
+          Fleet.Pool.drain pool)
+    in
+    Fleet.Pool.shutdown pool;
+    s
+  in
+  let off_s = soak false in
+  Printf.printf "  snapshots on...\n%!";
+  let on_s = soak true in
+  let per_task_us = 1e6 *. (on_s -. off_s) /. float_of_int tasks in
+  (* --- span merge throughput over synthetic shards --- *)
+  let shards = 4 and lines = 2500 in
+  Printf.printf "obs span merge: %d shards x %d spans...\n%!" shards lines;
+  let base = "bench_obs_spans" in
+  Fleet.Spans.remove_shards ~base;
+  for slot = 0 to shards - 1 do
+    let oc = open_out (Fleet.Spans.shard_path ~base slot) in
+    for i = 0 to lines - 1 do
+      Printf.fprintf oc
+        "{\"id\": %d, \"parent\": null, \"name\": \"span%d\", \
+         \"ts_us\": %d.0, \"dur_us\": 5.0}\n"
+        i (i mod 7) (i * 10)
+    done;
+    close_out oc
+  done;
+  let merge_out = base ^ ".chrome.json" in
+  let merge_s, report =
+    wall (fun () -> Fleet.Spans.merge_chrome ~base ~out:merge_out ())
+  in
+  let merge_ok =
+    report.Fleet.Spans.mr_spans = shards * lines
+    && report.Fleet.Spans.mr_skipped = 0
+    && Result.is_ok (Telemetry.Trace_check.validate_chrome_file merge_out)
+  in
+  (try Sys.remove merge_out with Sys_error _ -> ());
+  (* --- Cellprof around a warm cell --- *)
+  Printf.printf "obs profiler overhead (warm cell)...\n%!";
+  let tool = Engines.Profile.Bap and b = bomb "time_bomb" in
+  let cell () = ignore (Engines.Supervisor.run_cell tool b) in
+  cell ();
+  let reps = 5 in
+  let time_reps f =
+    let s, () = wall (fun () -> for _ = 1 to reps do f () done) in
+    s /. float_of_int reps
+  in
+  let bare_s = time_reps cell in
+  let off_prof_s =
+    time_reps (fun () ->
+        ignore (Engines.Cellprof.profiled ~key:"bench" (fun () ->
+            Engines.Supervisor.run_cell tool b)))
+  in
+  let phases_s =
+    time_reps (fun () ->
+        ignore (Engines.Cellprof.profiled ~phases:true ~key:"bench"
+                  (fun () -> Engines.Supervisor.run_cell tool b)))
+  in
+  let pct x = 100. *. (x -. bare_s) /. bare_s in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"piggyback\": {\"tasks\": %d, \"workers\": 2,\n\
+      \    \"snapshots_off_wall_s\": %.3f, \"snapshots_on_wall_s\": %.3f,\n\
+      \    \"overhead_us_per_task\": %.1f},\n\
+      \  \"span_merge\": {\"shards\": %d, \"spans\": %d, \"wall_s\": %.3f,\n\
+      \    \"spans_per_s\": %.0f, \"valid_chrome\": %b},\n\
+      \  \"profiler\": {\"cell\": \"BAP/time_bomb\", \"reps\": %d, \
+       \"bare_ms\": %.3f,\n\
+      \    \"profiled_ms\": %.3f, \"profiled_overhead_pct\": %.1f,\n\
+      \    \"phases_ms\": %.3f, \"phases_overhead_pct\": %.1f}\n\
+       }\n"
+      tasks off_s on_s per_task_us shards (shards * lines) merge_s
+      (float_of_int (shards * lines) /. merge_s)
+      merge_ok reps (1e3 *. bare_s) (1e3 *. off_prof_s) (pct off_prof_s)
+      (1e3 *. phases_s) (pct phases_s)
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "piggyback: off %.2fs, on %.2fs -> %.1f us/task\n" off_s on_s per_task_us;
+  Printf.printf "span merge: %d spans in %.3fs (%.0f/s), valid: %b\n"
+    (shards * lines) merge_s
+    (float_of_int (shards * lines) /. merge_s)
+    merge_ok;
+  Printf.printf
+    "profiler: bare %.2f ms, profiled %+.1f%%, with phases %+.1f%%\n"
+    (1e3 *. bare_s) (pct off_prof_s) (pct phases_s);
+  print_endline "wrote BENCH_obs.json"
+
 let () =
   (* `bench --solver-report` / `--robust-report` / `--trace-report`
      skip the Bechamel timing loop and only regenerate the
@@ -659,6 +784,10 @@ let () =
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--fleet-report" then begin
     fleet_report ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--obs-report" then begin
+    obs_report ();
     exit 0
   end;
   let cfg = Benchmark.cfg ~limit:6 ~quota:(Time.second 1.5) () in

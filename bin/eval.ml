@@ -40,9 +40,31 @@ let set_trace_dir = function
   | Some d -> Trace.set_store_dir (Some d)
   | None -> ()
 
+(* --metrics-out: the deterministic engine counters (vm/smt/lifter/
+   taint/concolic/dse) as "name value" lines — the fleet-merge
+   determinism check diffs these between sequential and fleet runs *)
+let metric_prefixes =
+  [ "vm."; "smt."; "lifter."; "taint."; "concolic."; "dse." ]
+
+let write_metrics_out path =
+  let has_prefix name p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  let oc = open_out path in
+  List.iter
+    (fun (name, reading) ->
+       match reading with
+       | Telemetry.Metrics.Vcounter v
+         when v > 0 && List.exists (has_prefix name) metric_prefixes ->
+         Printf.fprintf oc "%s %d\n" name v
+       | _ -> ())
+    (Telemetry.Metrics.snapshot ());
+  close_out oc
+
 let run_table2_common ~require_journal no_incremental no_ladder budget_spec
     retries backoff tools_filter bombs_filter journal kill_after kill_torn
-    trace_dir workers =
+    trace_dir workers profile fleet_trace progress metrics_out =
   set_trace_dir trace_dir;
   if workers < 1 then begin
     Printf.eprintf "--workers must be >= 1\n";
@@ -89,31 +111,45 @@ let run_table2_common ~require_journal no_incremental no_ladder budget_spec
         ~policy ~tools ~bombs
         ?journal_path:
           (Option.map (fun j -> j.Engines.Eval.journal_path) journal)
-        ~workers ()
+        ~workers
+        ~snapshots:(metrics_out <> None)
+        ?profile ?spans_out:fleet_trace ~progress ()
     in
-    print_string (Engines.Eval.render_table2 r)
+    print_string (Engines.Eval.render_table2 r);
+    Option.iter write_metrics_out metrics_out
   end
-  else
+  else begin
+    (* sequential --fleet-trace: one lane, same Chrome timeline *)
+    if fleet_trace <> None then begin
+      Telemetry.reset ();
+      Telemetry.enable ()
+    end;
     match
       Engines.Eval.run_table2 ~incremental:(not no_incremental) ?ladder
-        ~policy ~tools ~bombs ?journal ()
+        ~policy ~tools ~bombs ?journal ?profile ~progress ()
     with
-    | r -> print_string (Engines.Eval.render_table2 r)
+    | r ->
+      print_string (Engines.Eval.render_table2 r);
+      Option.iter Telemetry.write_chrome fleet_trace;
+      Option.iter write_metrics_out metrics_out
     | exception Engines.Eval.Simulated_crash ->
       Printf.eprintf "simulated crash after --kill-after cells\n";
       exit kill_exit_code
+  end
 
 let run_table2 no_incremental no_ladder budget_spec retries backoff
-    tools_filter bombs_filter journal kill_after kill_torn trace_dir workers =
+    tools_filter bombs_filter journal kill_after kill_torn trace_dir workers
+    profile fleet_trace progress metrics_out =
   run_table2_common ~require_journal:false no_incremental no_ladder
     budget_spec retries backoff tools_filter bombs_filter journal kill_after
-    kill_torn trace_dir workers
+    kill_torn trace_dir workers profile fleet_trace progress metrics_out
 
 let run_resume no_incremental no_ladder budget_spec retries backoff
-    tools_filter bombs_filter journal trace_dir workers =
+    tools_filter bombs_filter journal trace_dir workers profile fleet_trace
+    progress metrics_out =
   run_table2_common ~require_journal:true no_incremental no_ladder budget_spec
     retries backoff tools_filter bombs_filter journal None false trace_dir
-    workers
+    workers profile fleet_trace progress metrics_out
 
 (* ------------------------------------------------------------------ *)
 (* Fleet service: serve / submit / drain                               *)
@@ -181,6 +217,31 @@ let run_submit socket tools_filter bombs_filter budget_spec retries backoff
   | exception End_of_file ->
     Printf.eprintf "submit: daemon on %s hung up mid-stream\n" socket;
     exit 2
+
+let run_health socket =
+  match Engines.Service.health ~socket () with
+  | Some line -> print_endline line
+  | None ->
+    Printf.eprintf "health: no daemon answers on %s\n" socket;
+    exit 2
+
+let run_metrics socket prometheus =
+  match Engines.Service.metrics ~socket ~prometheus () with
+  | Some text -> if prometheus then print_string text else print_endline text
+  | None ->
+    Printf.eprintf "metrics: no daemon answers on %s\n" socket;
+    exit 2
+
+let run_profile path top =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "profile: %s does not exist\n" path;
+    exit 2
+  end;
+  match Engines.Cellprof.load path with
+  | [] ->
+    Printf.eprintf "profile: %s holds no decodable samples\n" path;
+    exit 2
+  | samples -> print_string (Engines.Cellprof.render_report ~top samples)
 
 let run_drain socket =
   match Engines.Service.drain ~socket ~on_line:print_endline () with
@@ -480,11 +541,51 @@ let workers_arg =
             write-ahead journals its cells and the shards are merged \
             into one canonical journal at the end. 1 = sequential.")
 
+let profile_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"PATH"
+         ~doc:
+           "Per-cell resource profile sidecar: append one JSON line \
+            per executed cell (wall time by span phase, VM steps, \
+            lifted instructions, solver blast/conflict/cache \
+            counters, taint coverage, degradation attribution). \
+            Inspect with $(b,eval profile PATH). With --workers, \
+            workers write per-slot shards merged after the run.")
+
+let fleet_trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "fleet-trace" ] ~docv:"FILE"
+         ~doc:
+           "Write one merged Chrome trace_event timeline for the \
+            whole run, with a lane (pid) per fleet worker — loadable \
+            in about:tracing / Perfetto, checkable with \
+            $(b,eval validate-trace)")
+
+let progress_arg =
+  Arg.(value & flag
+       & info [ "progress" ]
+         ~doc:
+           "Live status line on stderr: cells done/total, per-worker \
+            in-flight cells and ETA (fleet), or the current cell \
+            (sequential)")
+
+let metrics_out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE"
+         ~doc:
+           "After the run, write the deterministic engine counters \
+            (vm.*, smt.*, lifter.*, taint.*, concolic.*, dse.*) as \
+            'name value' lines. With --workers, the fleet's \
+            aggregated counters — byte-identical to a sequential \
+            run's for the same grid.")
+
 let table2_cmd =
   Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table II")
     Term.(const run_table2 $ no_incremental_arg $ no_ladder_arg $ budget_arg
           $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
-          $ kill_after_arg $ kill_torn_arg $ trace_dir_arg $ workers_arg)
+          $ kill_after_arg $ kill_torn_arg $ trace_dir_arg $ workers_arg
+          $ profile_out_arg $ fleet_trace_arg $ progress_arg
+          $ metrics_out_arg)
 
 let resume_cmd =
   Cmd.v
@@ -496,7 +597,8 @@ let resume_cmd =
           run so the fingerprints match)")
     Term.(const run_resume $ no_incremental_arg $ no_ladder_arg $ budget_arg
           $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
-          $ trace_dir_arg $ workers_arg)
+          $ trace_dir_arg $ workers_arg $ profile_out_arg $ fleet_trace_arg
+          $ progress_arg $ metrics_out_arg)
 
 let socket_arg =
   Arg.(value & opt string "eval.sock"
@@ -548,6 +650,50 @@ let drain_cmd =
           and remove its socket; streams status lines until the final \
           drained acknowledgement.")
     Term.(const run_drain $ socket_arg)
+
+let health_cmd =
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "One-line health summary from a running `eval serve` daemon: \
+          version, fingerprint, uptime, workers alive, queue depth, \
+          in-flight cells and p50/p95/p99 request latency")
+    Term.(const run_health $ socket_arg)
+
+let metrics_cmd =
+  let prometheus_arg =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+           ~doc:
+             "Print the Prometheus text exposition instead of the \
+              JSON snapshot")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Dump a running daemon's aggregated metrics registry — its \
+          own request accounting merged with every engine counter its \
+          fleet workers have reported")
+    Term.(const run_metrics $ socket_arg $ prometheus_arg)
+
+let profile_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"PATH"
+           ~doc:"Profile sidecar written by table2/resume --profile")
+  in
+  let top_arg =
+    Arg.(value & opt int 10
+         & info [ "top" ] ~docv:"K"
+           ~doc:"How many slowest cells to list")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Report on a per-cell resource profile sidecar: the top-K \
+          slowest cells with their span-phase breakdown, wall time \
+          per bomb x tool, and the Es-stage x resource correlation")
+    Term.(const run_profile $ path_arg $ top_arg)
 
 let chaos_cmd =
   let seed_arg =
@@ -615,7 +761,8 @@ let all_cmd =
     print_newline ();
     run_sizes ();
     print_newline ();
-    run_table2 false false None 0 10.0 [] [] None None false None 1;
+    run_table2 false false None 0 10.0 [] [] None None false None 1 None
+      None false None;
     print_newline ();
     run_fig3 None;
     print_newline ();
@@ -686,4 +833,5 @@ let () =
                     [ table1_cmd; table2_cmd; resume_cmd; fig3_cmd;
                       sizes_cmd; negative_cmd; validate_trace_cmd;
                       chaos_cmd; debug_cmd; serve_cmd; submit_cmd;
-                      drain_cmd; all_cmd ]))
+                      drain_cmd; health_cmd; metrics_cmd; profile_cmd;
+                      all_cmd ]))

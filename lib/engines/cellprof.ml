@@ -1,0 +1,330 @@
+(** Per-cell resource profiler: wraps a supervised cell run and
+    records what it cost — wall time broken down by span phase, VM
+    steps, lifted instructions, solver blast/conflict/cache counters,
+    taint coverage — keyed so a whole Table II run persists as a JSONL
+    sidecar next to the journal.
+
+    The measurement is a counter-delta around the run (the registry is
+    cumulative), so profiles compose with journaling, the fleet (each
+    worker appends to its own shard; {!merge_shards} folds them) and
+    the supervisor's retries without touching {!Supervisor.outcome}.
+    With [phases:false] nothing is reset or enabled, so profiling can
+    ride along even where span tracing must stay off. *)
+
+open Concolic.Error
+
+type sample = {
+  p_key : string;  (** "TOOL/bomb" *)
+  p_grade : string;  (** {!Concolic.Error.cell_symbol} *)
+  p_stage : string option;  (** Es attribution when supervised *)
+  p_cause : string option;
+      (** {!Supervisor.cause_name} — carries the degradation rung for
+          degraded cells ("degraded:enumerate") *)
+  p_attempts : int;
+  p_wall_us : float;
+  p_vm_steps : int;
+  p_lifted : int;
+  p_blasted : int;
+  p_conflicts : int;
+  p_cache_hits : int;
+  p_queries : int;
+  p_tainted : int;
+  p_phases : (string * float) list;
+      (** inclusive µs per span phase (a phase nested under another is
+          counted in both), name-sorted; empty unless [phases] *)
+}
+
+(* the span names the engine stack actually emits *)
+let phase_names =
+  [ "cell"; "trace.record"; "vm.run"; "taint.analyze"; "concolic.driver";
+    "concolic.trace_exec"; "concolic.dse"; "smt.check" ]
+
+(* counter-name, field-extractor pairs drive both capture and codec *)
+let counters =
+  [ "vm.steps"; "lifter.insns_lifted"; "smt.blasted_nodes"; "smt.conflicts";
+    "smt.cache_hits"; "smt.queries"; Taint.metric_tainted_insns ]
+
+(** Run [run] under the profiler.  Deltas of the deterministic engine
+    counters across the call; with [phases] additionally records span
+    tracing for the call's duration (resetting recorded spans, and
+    restoring the previous enablement after). *)
+let profiled ?(phases = false) ~key (run : unit -> Supervisor.outcome) :
+  Supervisor.outcome * sample =
+  let before = List.map Telemetry.Metrics.counter_value counters in
+  let was = Telemetry.is_enabled () in
+  if phases then begin
+    Telemetry.reset ();
+    Telemetry.enable ()
+  end;
+  let t0 = Unix.gettimeofday () in
+  let o = run () in
+  let wall_us = (Unix.gettimeofday () -. t0) *. 1e6 in
+  let p_phases =
+    if not phases then []
+    else begin
+      let tbl = Hashtbl.create 8 in
+      List.iter
+        (fun s ->
+           let name = s.Telemetry.name in
+           if List.mem name phase_names then
+             Hashtbl.replace tbl name
+               (Telemetry.duration_us s
+                +. (try Hashtbl.find tbl name with Not_found -> 0.)))
+        (Telemetry.finished_spans ());
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort compare
+    end
+  in
+  if phases && not was then Telemetry.disable ();
+  let after = List.map Telemetry.Metrics.counter_value counters in
+  let delta i = List.nth after i - List.nth before i in
+  let sample =
+    { p_key = key;
+      p_grade = cell_symbol o.Supervisor.graded.Grade.cell;
+      p_stage = Option.map show_stage o.Supervisor.stage;
+      p_cause = Option.map Supervisor.cause_name o.Supervisor.cause;
+      p_attempts = o.Supervisor.attempts;
+      p_wall_us = wall_us;
+      p_vm_steps = delta 0;
+      p_lifted = delta 1;
+      p_blasted = delta 2;
+      p_conflicts = delta 3;
+      p_cache_hits = delta 4;
+      p_queries = delta 5;
+      p_tainted = delta 6;
+      p_phases }
+  in
+  (o, sample)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL codec and sidecar files                                       *)
+(* ------------------------------------------------------------------ *)
+
+let esc = Robust.Journal.json_escape
+
+let encode (s : sample) =
+  let opt = function
+    | Some v -> Printf.sprintf "\"%s\"" (esc v)
+    | None -> "null"
+  in
+  Printf.sprintf
+    "{\"key\":\"%s\",\"grade\":\"%s\",\"stage\":%s,\"cause\":%s,\
+     \"attempts\":%d,\"wall_us\":%.1f,\"vm_steps\":%d,\"lifted\":%d,\
+     \"blasted\":%d,\"conflicts\":%d,\"cache_hits\":%d,\"queries\":%d,\
+     \"tainted\":%d,\"phases\":{%s}}"
+    (esc s.p_key) (esc s.p_grade) (opt s.p_stage) (opt s.p_cause)
+    s.p_attempts s.p_wall_us s.p_vm_steps s.p_lifted s.p_blasted
+    s.p_conflicts s.p_cache_hits s.p_queries s.p_tainted
+    (String.concat ","
+       (List.map
+          (fun (k, v) -> Printf.sprintf "\"%s\":%.1f" (esc k) v)
+          s.p_phases))
+
+let decode line : sample option =
+  let open Telemetry.Trace_check in
+  match parse_opt line with
+  | None -> None
+  | Some j -> (
+      let str k = match member k j with Some (Str s) -> Some s | _ -> None in
+      let num k = match member k j with Some (Num n) -> Some n | _ -> None in
+      let int k = Option.map int_of_float (num k) in
+      match
+        (str "key", str "grade", int "attempts", num "wall_us",
+         int "vm_steps", int "lifted", int "blasted", int "conflicts")
+      with
+      | Some key, Some grade, Some attempts, Some wall, Some vm,
+        Some lifted, Some blasted, Some conflicts ->
+          let phases =
+            match member "phases" j with
+            | Some (Obj fields) ->
+                List.filter_map
+                  (fun (k, v) ->
+                     match v with Num f -> Some (k, f) | _ -> None)
+                  fields
+                |> List.sort compare
+            | _ -> []
+          in
+          Some
+            { p_key = key;
+              p_grade = grade;
+              p_stage = str "stage";
+              p_cause = str "cause";
+              p_attempts = attempts;
+              p_wall_us = wall;
+              p_vm_steps = vm;
+              p_lifted = lifted;
+              p_blasted = blasted;
+              p_conflicts = conflicts;
+              p_cache_hits = Option.value ~default:0 (int "cache_hits");
+              p_queries = Option.value ~default:0 (int "queries");
+              p_tainted = Option.value ~default:0 (int "tainted");
+              p_phases = phases }
+      | _ -> None)
+
+(** Append one sample to the sidecar (one JSON object per line,
+    append-only — same torn-tail discipline as the span shards). *)
+let append ~path (s : sample) =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (encode s);
+  output_char oc '\n';
+  close_out oc
+
+(** Load a sidecar: last sample wins per key (a resumed run re-appends
+    the cells it re-executed); undecodable lines are skipped. *)
+let load path : sample list =
+  let ic = open_in path in
+  let tbl = Hashtbl.create 64 in
+  let order = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match decode line with
+       | Some s ->
+           if not (Hashtbl.mem tbl s.p_key) then
+             order := s.p_key :: !order;
+           Hashtbl.replace tbl s.p_key s
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev_map (fun k -> Hashtbl.find tbl k) !order
+
+(* --- fleet shards: each worker appends to its own sidecar shard --- *)
+
+let shard_path ~path slot = Printf.sprintf "%s.w%d" path slot
+
+let existing_shards ~path =
+  List.filter_map
+    (fun slot ->
+       let p = shard_path ~path slot in
+       if Sys.file_exists p then Some p else None)
+    (List.init 256 Fun.id)
+
+(** Fold the per-worker sidecar shards (and any prior main sidecar)
+    into one canonical sidecar ordered by [order]; shards are removed
+    after the merge.  Mirrors {!Fleet.Merge} for journals. *)
+let merge_shards ~path ~(order : string list) () =
+  let tbl = Hashtbl.create 64 in
+  let eat p = List.iter (fun s -> Hashtbl.replace tbl s.p_key s) (load p) in
+  if Sys.file_exists path then eat path;
+  let shards = existing_shards ~path in
+  List.iter eat shards;
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  let emit s =
+    output_string oc (encode s);
+    output_char oc '\n'
+  in
+  List.iter
+    (fun key ->
+       match Hashtbl.find_opt tbl key with
+       | Some s ->
+           emit s;
+           Hashtbl.remove tbl key
+       | None -> ())
+    order;
+  (* samples outside the canonical order (a custom grid) still land *)
+  Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
+  |> List.sort (fun a b -> compare a.p_key b.p_key)
+  |> List.iter emit;
+  close_out oc;
+  Sys.rename tmp path;
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) shards
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let split_key key =
+  match String.index_opt key '/' with
+  | Some i ->
+      ( String.sub key 0 i,
+        String.sub key (i + 1) (String.length key - i - 1) )
+  | None -> (key, key)
+
+let mean f l =
+  match l with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc s -> acc +. f s) 0.0 l
+      /. float_of_int (List.length l)
+
+(** [eval profile]'s report: the top-[top] slowest cells with their
+    phase breakdown, a per-bomb × per-tool wall-time table, and the
+    Es-stage × resource correlation (which stage the expensive cells
+    die at, and what they burn doing it). *)
+let render_report ?(top = 10) (samples : sample list) : string =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let ms us = us /. 1e3 in
+  (* --- top-K slowest cells --- *)
+  let slowest =
+    List.sort (fun a b -> compare b.p_wall_us a.p_wall_us) samples
+  in
+  pr "top %d slowest cells (%d profiled):\n"
+    (min top (List.length samples))
+    (List.length samples);
+  List.iteri
+    (fun i s ->
+       if i < top then begin
+         pr "  %-28s %8.1f ms  %s  vm:%d blast:%d cdcl:%d q:%d hit:%d%s%s\n"
+           s.p_key (ms s.p_wall_us) s.p_grade s.p_vm_steps s.p_blasted
+           s.p_conflicts s.p_queries s.p_cache_hits
+           (match s.p_cause with Some c -> "  [" ^ c ^ "]" | None -> "")
+           (match s.p_stage with Some st -> " @" ^ st | None -> "");
+         match s.p_phases with
+         | [] -> ()
+         | phases ->
+             pr "    %s\n"
+               (String.concat "  "
+                  (List.map
+                     (fun (k, v) -> Printf.sprintf "%s:%.1fms" k (ms v))
+                     (List.sort
+                        (fun (_, a) (_, b) -> compare b a)
+                        phases)))
+       end)
+    slowest;
+  (* --- per-bomb x per-tool wall table --- *)
+  let tools =
+    List.sort_uniq compare (List.map (fun s -> fst (split_key s.p_key)) samples)
+  in
+  let bombs =
+    List.sort_uniq compare (List.map (fun s -> snd (split_key s.p_key)) samples)
+  in
+  pr "\nwall time (ms) per bomb x tool:\n";
+  pr "  %-20s" "bomb";
+  List.iter (fun t -> pr " %10s" t) tools;
+  pr "\n";
+  List.iter
+    (fun bomb ->
+       pr "  %-20s" bomb;
+       List.iter
+         (fun tool ->
+            match
+              List.find_opt (fun s -> s.p_key = tool ^ "/" ^ bomb) samples
+            with
+            | Some s -> pr " %10.1f" (ms s.p_wall_us)
+            | None -> pr " %10s" "-")
+         tools;
+       pr "\n")
+    bombs;
+  (* --- Es-stage x resource correlation --- *)
+  (* the supervised [stage] when the supervisor attributed a cause;
+     otherwise the grade itself, which already carries the Es symbol
+     for error cells *)
+  let stage_of s = Option.value ~default:s.p_grade s.p_stage in
+  let stages = List.sort_uniq compare (List.map stage_of samples) in
+  pr "\nEs-stage x resources (mean per cell):\n";
+  pr "  %-10s %5s %10s %12s %10s %10s\n" "stage" "cells" "wall(ms)"
+    "vm_steps" "blasted" "cdcl";
+  List.iter
+    (fun stage ->
+       let group = List.filter (fun s -> stage_of s = stage) samples in
+       pr "  %-10s %5d %10.1f %12.0f %10.0f %10.0f\n" stage
+         (List.length group)
+         (ms (mean (fun s -> s.p_wall_us) group))
+         (mean (fun s -> float_of_int s.p_vm_steps) group)
+         (mean (fun s -> float_of_int s.p_blasted) group)
+         (mean (fun s -> float_of_int s.p_conflicts) group))
+    stages;
+  Buffer.contents buf

@@ -112,8 +112,38 @@ let collate ~tools cells : table2_result =
   in
   { cells; solved; agreement = (matches, total) }
 
+(** [run_table2 ?profile ?progress …]: [profile] appends a
+    {!Cellprof} sample per freshly-executed cell to that sidecar path;
+    [progress] keeps a live cells-done/total line on stderr. *)
 let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
-    ?(bombs = Bombs.Catalog.table2) ?journal () : table2_result =
+    ?(bombs = Bombs.Catalog.table2) ?journal ?profile ?(progress = false) ()
+  : table2_result =
+  let total = List.length bombs * List.length tools in
+  let done_cells = ref 0 in
+  let tick key =
+    incr done_cells;
+    if progress then
+      Printf.eprintf "\r[table2] %d/%d %-32s%!" !done_cells total key;
+    if progress && !done_cells = total then prerr_newline ()
+  in
+  (* the profiler wraps the supervised run without touching its
+     outcome; disabled, this is exactly the bare [run_cell] *)
+  let run_cell_counted tool bomb =
+    let key = cell_key tool bomb in
+    let r =
+      match profile with
+      | None -> run_cell ?incremental ?ladder ?policy tool bomb
+      | Some path ->
+          let o, sample =
+            Cellprof.profiled ~phases:true ~key (fun () ->
+                Supervisor.run_cell ?incremental ?ladder ?policy tool bomb)
+          in
+          Cellprof.append ~path sample;
+          cell_of_outcome tool bomb o
+    in
+    tick key;
+    r
+  in
   let run_journaled (jc : journal) =
     let fp = journal_fingerprint ?incremental ?ladder ?policy ~tools ~bombs () in
     let loaded = Robust.Journal.load ~fingerprint:fp jc.journal_path in
@@ -144,6 +174,7 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
                 match Hashtbl.find_opt replayable key with
                 | Some o ->
                     Robust.Journal.count_replayed ();
+                    tick key;
                     cell_of_outcome tool bomb o
                 | None ->
                     (match jc.kill_after with
@@ -154,7 +185,7 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
                            Robust.Journal.append_torn w ~key;
                          raise Simulated_crash
                      | _ -> ());
-                    let r = run_cell ?incremental ?ladder ?policy tool bomb in
+                    let r = run_cell_counted tool bomb in
                     Robust.Journal.append w ~key
                       ~payload:(Journal_codec.encode_outcome r.robust);
                     incr executed;
@@ -170,10 +201,7 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
     | Some jc -> run_journaled jc
     | None ->
         List.concat_map
-          (fun bomb ->
-             List.map
-               (fun tool -> run_cell ?incremental ?ladder ?policy tool bomb)
-               tools)
+          (fun bomb -> List.map (fun tool -> run_cell_counted tool bomb) tools)
           bombs
   in
   collate ~tools cells

@@ -60,9 +60,18 @@ let existing_worker_journals path =
     crashed fleet run).  Worker deaths re-dispatch the cell up to
     [max 1 policy.retries] times, each attempt escalating the budget
     by the policy's backoff, before the cell is graded as crashed. *)
+(** [?snapshots] turns on cross-process metrics aggregation: workers
+    piggyback registry deltas on replies and the aggregate is
+    published into the master registry after shutdown, so the fleet's
+    [vm.*]/[smt.*] counters equal the sequential run's.  [?profile]
+    writes the {!Cellprof} sidecar (workers append to per-slot shards,
+    merged after the run).  [?spans_out] writes one merged Chrome
+    trace with a lane per worker.  [?progress] keeps a live
+    cells/inflight/ETA line on stderr. *)
 let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
     ?(bombs = Bombs.Catalog.table2) ?journal_path ?(workers = 2)
-    ?task_timeout () : Eval.table2_result =
+    ?task_timeout ?(snapshots = false) ?profile ?spans_out
+    ?(progress = false) () : Eval.table2_result =
   let pol = Option.value ~default:Supervisor.default_policy policy in
   let fp =
     Eval.journal_fingerprint ?incremental ?ladder ?policy ~tools ~bombs ()
@@ -128,21 +137,53 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
               (pol.backoff ** float_of_int (attempt - 1))
               pol.budget }
     in
-    let o = Supervisor.run_cell ?incremental ?ladder ~policy tool bomb in
-    Journal_codec.encode_outcome o
+    match profile with
+    | None ->
+        let o = Supervisor.run_cell ?incremental ?ladder ~policy tool bomb in
+        Journal_codec.encode_outcome o
+    | Some path ->
+        (* each worker appends to its own sidecar shard, merged after
+           the run — same discipline as the write-ahead journals.
+           [phases:true] composes with span shipping: the pool enabled
+           tracing already, and its shard flush runs after this returns *)
+        let o, sample =
+          Cellprof.profiled ~phases:true ~key (fun () ->
+              Supervisor.run_cell ?incremental ?ladder ~policy tool bomb)
+        in
+        let slot =
+          Option.value ~default:0 (Fleet.Pool.worker_slot ())
+        in
+        Cellprof.append ~path:(Cellprof.shard_path ~path slot) sample;
+        Journal_codec.encode_outcome o
   in
   let config =
     { Fleet.Pool.default_config with
       workers;
       respawns = max 1 pol.retries;
       task_timeout;
+      snapshots;
+      spans = spans_out;
       journal =
         Option.map
           (fun p -> { Fleet.Pool.j_path = p; j_fingerprint = fp })
           journal_path }
   in
+  (* stale observability shards from a crashed prior run must not leak
+     into this run's merge *)
+  (match profile with
+   | Some path ->
+       List.iter
+         (fun p -> try Sys.remove p with Sys_error _ -> ())
+         (Cellprof.existing_shards ~path)
+   | None -> ());
+  (match spans_out with
+   | Some base -> Fleet.Spans.remove_shards ~base
+   | None -> ());
   let pool = Fleet.Pool.create ~config run in
   let restore_sigint = Fleet.Pool.install_sigint pool in
+  let total = List.length order in
+  let t_start = Unix.gettimeofday () in
+  let submitted = ref 0 in
   let results =
     Fun.protect
       ~finally:(fun () ->
@@ -151,11 +192,56 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
     @@ fun () ->
     List.iter
       (fun key ->
-         if not (Hashtbl.mem replayable key) then
-           Fleet.Pool.submit pool ~key ~task:key)
+         if not (Hashtbl.mem replayable key) then begin
+           incr submitted;
+           Fleet.Pool.submit pool ~key ~task:key
+         end)
       order;
-    Fleet.Pool.drain pool
+    let last_tick = ref 0. in
+    let on_round () =
+      if progress then begin
+        let t = Unix.gettimeofday () in
+        if t -. !last_tick >= 0.5 then begin
+          last_tick := t;
+          let left = Fleet.Pool.pending pool in
+          let done_fresh = !submitted - left in
+          let eta =
+            if done_fresh > 0 then
+              (t -. t_start) /. float_of_int done_fresh *. float_of_int left
+            else 0.
+          in
+          let lanes =
+            String.concat " "
+              (List.map
+                 (fun (slot, alive, task) ->
+                    Printf.sprintf "w%d:%s" slot
+                      (if not alive then "dead"
+                       else Option.value ~default:"-" task))
+                 (Fleet.Pool.worker_states pool))
+          in
+          Printf.eprintf "\r[fleet] cells %d/%d  %s  ETA %.0fs   %!"
+            (total - left) total lanes eta
+        end
+      end
+    in
+    let rs = Fleet.Pool.drain ~on_round pool in
+    if progress then prerr_newline ();
+    rs
   in
+  (* fold worker-reported metrics into the master registry, stitch the
+     span shards into one Chrome timeline, merge the profile shards *)
+  if snapshots then Fleet.Pool.publish_metrics pool;
+  (match spans_out with
+   | Some out ->
+       let report = Fleet.Spans.merge_chrome ~base:out ~out () in
+       Telemetry.Log.infof
+         "fleet: merged %d span shard(s), %d span(s), %d skipped -> %s"
+         report.Fleet.Spans.mr_shards report.Fleet.Spans.mr_spans
+         report.Fleet.Spans.mr_skipped out
+   | None -> ());
+  (match profile with
+   | Some path -> Cellprof.merge_shards ~path ~order ()
+   | None -> ());
   let fresh : (string, Supervisor.outcome) Hashtbl.t = Hashtbl.create 128 in
   List.iter
     (fun (r : Fleet.Pool.result) ->

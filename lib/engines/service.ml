@@ -151,7 +151,11 @@ let worker_run ~attempt ~key:_ (task : string) : string =
 let serve ?(workers = 2) ?(max_queue = 10_000) ~socket () =
   let pool =
     Fleet.Pool.create
-      ~config:{ Fleet.Pool.default_config with workers; respawns = 1 }
+      (* snapshots on: the daemon's [metrics] op reports the workers'
+         engine counters, not just its own request accounting *)
+      ~config:
+        { Fleet.Pool.default_config with
+          workers; respawns = 1; snapshots = true }
       worker_run
   in
   match
@@ -243,3 +247,33 @@ let ping ~socket () : int option =
       | Some (Num n) -> Some (int_of_float n)
       | _ -> None)
   | exception (Unix.Unix_error _ | End_of_file | Sys_error _) -> None
+
+(* one-line request/response round trip; [None] when nothing answers *)
+let request ~socket line : string option =
+  match
+    with_connection socket @@ fun ic oc ->
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    input_line ic
+  with
+  | reply -> Some reply
+  | exception (Unix.Unix_error _ | End_of_file | Sys_error _) -> None
+
+(** The daemon's [health] summary (uptime, workers alive, queue depth,
+    request latency percentiles) as its raw JSON line. *)
+let health ~socket () : string option =
+  request ~socket "{\"op\":\"health\"}"
+
+(** The daemon's aggregated metrics (its own registry merged with
+    everything its workers reported): the raw JSON response, or with
+    [prometheus] the text exposition extracted from it. *)
+let metrics ~socket ?(prometheus = false) () : string option =
+  if not prometheus then request ~socket "{\"op\":\"metrics\"}"
+  else
+    Option.bind
+      (request ~socket "{\"op\":\"metrics\",\"format\":\"prometheus\"}")
+      (fun line ->
+         match Option.bind (parse_opt line) (member "text") with
+         | Some (Str text) -> Some text
+         | _ -> None)

@@ -61,11 +61,23 @@ type config = {
   at_fork : (unit -> unit) option;
       (** run in the child right after [fork] — lets an embedding
           daemon close its listening/client sockets in workers *)
+  snapshots : bool;
+      (** workers piggyback a registry-delta snapshot (relative to the
+          registry they inherited at fork) on every reply and
+          final-flush one on shutdown; the master folds them per slot
+          — surviving worker death and SIGKILL re-dispatch — for
+          {!metrics_snapshot} / {!publish_metrics}.  Off by default:
+          the disabled path adds nothing to the per-task protocol. *)
+  spans : string option;
+      (** base path for per-worker span shards: when set, workers run
+          with span tracing enabled and append finished spans to
+          [<base>.spans.w<slot>.jsonl] after every task
+          (see {!Spans}) *)
 }
 
 let default_config =
   { workers = 2; respawns = 1; task_timeout = None; journal = None;
-    at_fork = None }
+    at_fork = None; snapshots = false; spans = None }
 
 type failure =
   | Worker_lost of int  (** workers died running it; the attempt count *)
@@ -103,6 +115,12 @@ type worker = {
   mutable state : wstate;
   mutable w_alive : bool;
   mutable last_seen : float;
+  mutable w_snap : Telemetry.Snapshot.t;
+      (** the live incarnation's latest cumulative delta (replaced on
+          every "S" line, so a lost line heals at the next one) *)
+  mutable w_dead_snap : Telemetry.Snapshot.t;
+      (** accumulated last snapshots of this slot's dead incarnations
+          — what survives a SIGKILL *)
 }
 
 type t = {
@@ -115,6 +133,7 @@ type t = {
   done_q : result Queue.t;
   mutable pool_cancelled : bool;
   mutable closed : bool;
+  mutable published : bool;  (** {!publish_metrics} ran (idempotence) *)
   mutable at_fork_extra : (unit -> unit) option;
       (** set after creation by an embedding daemon (see
           {!set_at_fork}): run in respawned workers so they drop
@@ -139,12 +158,20 @@ let check_key key =
 (* Worker side                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* worker-side slot marker: lets runner closures (profile shards) know
+   which worker they execute in; [-1] in the master *)
+let current_slot = ref (-1)
+
+let worker_slot () = if !current_slot >= 0 then Some !current_slot else None
+
 (* The child never returns: it loops on dispatch lines until [Q] or
    EOF, then [_exit]s without running the parent's at_exit handlers or
    flushing its inherited channel buffers. *)
 let worker_loop ~(cfg : config) ~slot ~run rd wr : 'a =
   let ic = Unix.in_channel_of_descr rd in
   let oc = Unix.out_channel_of_descr wr in
+  current_slot := slot;
+  Telemetry.Log.set_prefix (Printf.sprintf "[w%d] " slot);
   let send fmt =
     Printf.ksprintf
       (fun s ->
@@ -152,6 +179,29 @@ let worker_loop ~(cfg : config) ~slot ~run rd wr : 'a =
          output_char oc '\n';
          flush oc)
       fmt
+  in
+  (* observability: a fork inherits the parent's registry and any
+     recorded spans, so snapshots diff against a baseline captured
+     here and span tracing starts from a clean slate *)
+  let baseline =
+    if cfg.snapshots then Telemetry.Snapshot.capture ()
+    else Telemetry.Snapshot.empty
+  in
+  if cfg.spans <> None then begin
+    Telemetry.reset ();
+    Telemetry.enable ()
+  end;
+  let send_snapshot () =
+    if cfg.snapshots then
+      let d =
+        Telemetry.Snapshot.diff ~base:baseline (Telemetry.Snapshot.capture ())
+      in
+      send "S %s" (Telemetry.Snapshot.to_json d)
+  in
+  let flush_spans () =
+    match cfg.spans with
+    | Some base -> (try Spans.flush_shard ~base ~slot with Sys_error _ -> ())
+    | None -> ()
   in
   let journal = ref None in
   let journal_writer () =
@@ -167,6 +217,10 @@ let worker_loop ~(cfg : config) ~slot ~run rd wr : 'a =
         Some w
   in
   let quit code =
+    (* final flush: completed spans and a last snapshot line reach the
+       master before EOF (it keeps reading until EOF on shutdown) *)
+    flush_spans ();
+    (try send_snapshot () with _ -> ());
     (match !journal with
      | Some w -> (try Robust.Journal.close_writer w with _ -> ())
      | None -> ());
@@ -196,6 +250,15 @@ let worker_loop ~(cfg : config) ~slot ~run rd wr : 'a =
                  (match journal_writer () with
                   | Some w -> Robust.Journal.append w ~key ~payload
                   | None -> ());
+                 (* per-task observability flush, *before* the reply:
+                    spans to this slot's shard, registry delta on the
+                    pipe — so by the time the master routes this
+                    result, the task's counters are already folded in
+                    (a client seeing "done" can trust [metrics]), and
+                    a later SIGKILL loses at most the killed task's
+                    own work *)
+                 flush_spans ();
+                 send_snapshot ();
                  send "D %d %s" id payload
              | exception e ->
                  let msg =
@@ -203,6 +266,8 @@ let worker_loop ~(cfg : config) ~slot ~run rd wr : 'a =
                      (fun c -> if c = '\n' then ' ' else c)
                      (Printexc.to_string e)
                  in
+                 flush_spans ();
+                 send_snapshot ();
                  send "X %d %s" id msg);
             loop ()
         | _ -> quit 3 (* protocol violation: die loudly *))
@@ -256,6 +321,9 @@ let spawn (t : t) slot =
       Buffer.clear w.rbuf;
       w.state <- Idle;
       w.w_alive <- true;
+      (* a fresh incarnation ships deltas from its own fork baseline;
+         the previous incarnation's totals live in [w_dead_snap] *)
+      w.w_snap <- Telemetry.Snapshot.empty;
       w.last_seen <- now ()
 
 (* a worker dying between select and write must surface as EPIPE, not
@@ -285,13 +353,15 @@ let create ?(config = default_config) run : t =
         Array.init config.workers (fun slot ->
             { slot; pid = -1; to_w = Unix.stdin; from_w = Unix.stdin;
               rbuf = Buffer.create 256; state = Idle; w_alive = false;
-              last_seen = 0. });
+              last_seen = 0.; w_snap = Telemetry.Snapshot.empty;
+              w_dead_snap = Telemetry.Snapshot.empty });
       queue = Queue.create ();
       inflight = 0;
       next_id = 0;
       done_q = Queue.create ();
       pool_cancelled = false;
       closed = false;
+      published = false;
       at_fork_extra = None }
   in
   for slot = 0 to config.workers - 1 do
@@ -336,6 +406,10 @@ let complete (t : t) (j : job) payload =
 let bury (t : t) (w : worker) ~respawn =
   Telemetry.Metrics.incr m_deaths;
   w.w_alive <- false;
+  (* keep what the dead incarnation last reported: its snapshot lines
+     are cumulative-since-fork, so the latest one is its whole story *)
+  w.w_dead_snap <- Telemetry.Snapshot.merge w.w_dead_snap w.w_snap;
+  w.w_snap <- Telemetry.Snapshot.empty;
   (try Unix.close w.to_w with Unix.Unix_error _ -> ());
   (try Unix.close w.from_w with Unix.Unix_error _ -> ());
   (try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ());
@@ -396,6 +470,18 @@ let dispatch (t : t) =
 (* one complete line from worker [w] *)
 let handle_line (t : t) (w : worker) line =
   w.last_seen <- now ();
+  if String.length line >= 2 && line.[0] = 'S' && line.[1] = ' ' then
+    (* registry-delta snapshot: cumulative since fork, so we replace
+       rather than accumulate — a lost line self-heals at the next *)
+    match
+      Telemetry.Snapshot.of_json
+        (String.sub line 2 (String.length line - 2))
+    with
+    | Some s -> w.w_snap <- s
+    | None ->
+        Telemetry.Log.warnf
+          "fleet: worker %d sent an undecodable snapshot; dropped" w.slot
+  else
   match String.split_on_char ' ' line with
   | "H" :: _ -> () (* hello/heartbeat *)
   | "D" :: id :: rest | "X" :: id :: rest -> (
@@ -498,11 +584,14 @@ let poll ?(timeout = 0.05) (t : t) : result list =
 
 (** Run the pool to completion (or to cooperative cancellation):
     blocks until every submitted task has a result.  Tasks still
-    queued when the pool is cancelled come back as [Error Cancelled]. *)
-let drain (t : t) : result list =
+    queued when the pool is cancelled come back as [Error Cancelled].
+    [on_round] runs after every scheduling round — a live progress
+    line hooks in here without owning the loop. *)
+let drain ?(on_round = fun () -> ()) (t : t) : result list =
   let acc = ref [] in
   while pending t > 0 && not (t.pool_cancelled && t.inflight = 0) do
-    acc := List.rev_append (poll ~timeout:0.25 t) !acc
+    acc := List.rev_append (poll ~timeout:0.25 t) !acc;
+    on_round ()
   done;
   (* cancelled: fail what never ran *)
   Queue.iter
@@ -518,11 +607,43 @@ let drain (t : t) : result list =
 let shutdown (t : t) =
   if not t.closed then begin
     t.closed <- true;
+    (* ask every worker to quit first, so their final-flush snapshot
+       lines are already in the pipes while we collect below *)
+    Array.iter
+      (fun w ->
+         if w.w_alive then
+           try ignore (Unix.write_substring w.to_w "Q\n" 0 2)
+           with Unix.Unix_error _ -> ())
+      t.ws;
+    (* with snapshots on, read each worker until EOF (bounded): the
+       quit path sends one last "S" line that must not be lost.
+       [bury] on EOF will not respawn — the pool is closed. *)
+    if t.cfg.snapshots then begin
+      let deadline = now () +. 2.0 in
+      let rec collect () =
+        let rd = fds t in
+        if rd <> [] && now () < deadline then begin
+          (match Unix.select rd [] [] 0.05 with
+           | readable, _, _ ->
+               List.iter
+                 (fun fd ->
+                    match
+                      Array.to_list t.ws
+                      |> List.find_opt
+                           (fun w -> w.w_alive && w.from_w = fd)
+                    with
+                    | Some w -> pump_worker t w
+                    | None -> ())
+                 readable
+           | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          collect ()
+        end
+      in
+      collect ()
+    end;
     Array.iter
       (fun w ->
          if w.w_alive then begin
-           (try ignore (Unix.write_substring w.to_w "Q\n" 0 2)
-            with Unix.Unix_error _ -> ());
            (try Unix.close w.to_w with Unix.Unix_error _ -> ());
            (try Unix.close w.from_w with Unix.Unix_error _ -> ());
            w.w_alive <- false;
@@ -552,3 +673,55 @@ let shutdown (t : t) =
 let worker_journal_paths ~path ~workers =
   List.filter Sys.file_exists
     (List.init workers (fun slot -> Printf.sprintf "%s.w%d" path slot))
+
+(* ------------------------------------------------------------------ *)
+(* Observability (master side)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let alive_workers (t : t) =
+  Array.fold_left (fun n w -> if w.w_alive then n + 1 else n) 0 t.ws
+
+(** Per-slot status: (slot, alive, in-flight task key if busy). *)
+let worker_states (t : t) : (int * bool * string option) list =
+  Array.to_list t.ws
+  |> List.map (fun w ->
+      let task =
+        match w.state with Busy (j, _) -> Some j.j_key | Idle -> None
+      in
+      (w.slot, w.w_alive, task))
+
+(** The fleet-wide aggregate of everything workers have reported:
+    every slot's live snapshot plus its dead incarnations' — the
+    counters a sequential run of the same work would have produced
+    (the master itself runs no tasks). *)
+let metrics_snapshot (t : t) : Telemetry.Snapshot.t =
+  Array.fold_left
+    (fun acc w ->
+       Telemetry.Snapshot.merge acc
+         (Telemetry.Snapshot.merge w.w_dead_snap w.w_snap))
+    Telemetry.Snapshot.empty t.ws
+
+(** Per-slot snapshots for name-spaced publication:
+    (slot, dead-merged-with-live). *)
+let worker_snapshots (t : t) : (int * Telemetry.Snapshot.t) list =
+  Array.to_list t.ws
+  |> List.map (fun w ->
+      (w.slot, Telemetry.Snapshot.merge w.w_dead_snap w.w_snap))
+
+(** Fold the workers' reported metrics into the master's live registry:
+    once per pool, each slot under a [worker<N>.] prefix plus the
+    unprefixed additive aggregate.  After this, [Metrics.snapshot] in
+    the master reads like the sequential run.  No-op unless
+    [cfg.snapshots]; idempotent. *)
+let publish_metrics (t : t) =
+  if t.cfg.snapshots && not t.published then begin
+    t.published <- true;
+    List.iter
+      (fun (slot, s) ->
+         if not (Telemetry.Snapshot.is_empty s) then begin
+           Telemetry.Snapshot.publish
+             ~prefix:(Printf.sprintf "worker%d." slot) s;
+           Telemetry.Snapshot.publish s
+         end)
+      (worker_snapshots t)
+  end

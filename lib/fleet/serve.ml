@@ -24,6 +24,10 @@ let m_rejected = Telemetry.Metrics.counter "serve.rejected"
 let m_responses = Telemetry.Metrics.counter "serve.responses"
 let m_dropped = Telemetry.Metrics.counter "serve.dropped_responses"
 let m_clients = Telemetry.Metrics.counter "serve.clients"
+let m_latency = Telemetry.Metrics.histogram "serve.latency_us"
+
+(** Protocol/build identity reported by [ping] and [health]. *)
+let version = "eval-serve/1"
 
 type config = {
   socket : string;
@@ -82,6 +86,8 @@ type state = {
   mutable next_tag : int;
   mutable draining : bool;
   mutable completed : int;
+  started : float;  (** daemon start, for uptime *)
+  fingerprint : string;  (** unique per daemon instance *)
 }
 
 let esc = Robust.Journal.json_escape
@@ -104,6 +110,22 @@ let reject st c ~id msg =
        (match id with Some i -> "\"" ^ esc i ^ "\"" | None -> "null")
        (esc msg))
 
+(* per-slot status as a JSON array: slot, liveness, in-flight task *)
+let workers_json st =
+  String.concat ","
+    (List.map
+       (fun (slot, alive, task) ->
+          Printf.sprintf "{\"slot\":%d,\"alive\":%b,\"inflight\":%d%s}"
+            slot alive
+            (if task = None then 0 else 1)
+            (match task with
+             | Some k -> Printf.sprintf ",\"task\":\"%s\"" (esc k)
+             | None -> ""))
+       (Pool.worker_states st.pool))
+
+let latency_ms q =
+  float_of_int (Telemetry.Metrics.quantile m_latency q) /. 1e3
+
 let handle_request st (c : client) line =
   Telemetry.Metrics.incr m_requests;
   let open Telemetry.Trace_check in
@@ -116,15 +138,55 @@ let handle_request st (c : client) line =
       match member "op" j with
       | Some (Str "ping") ->
           send_line st c
-            (Printf.sprintf "{\"status\":\"ok\",\"pending\":%d}"
-               (Pool.pending st.pool))
+            (Printf.sprintf
+               "{\"status\":\"ok\",\"pending\":%d,\"version\":\"%s\",\
+                \"fingerprint\":\"%s\",\"uptime_s\":%.1f}"
+               (Pool.pending st.pool) (esc version) (esc st.fingerprint)
+               (Unix.gettimeofday () -. st.started))
       | Some (Str "stats") ->
           send_line st c
             (Printf.sprintf
                "{\"status\":\"ok\",\"queued\":%d,\"inflight\":%d,\
-                \"completed\":%d,\"clients\":%d,\"draining\":%b}"
+                \"completed\":%d,\"clients\":%d,\"draining\":%b,\
+                \"workers\":[%s]}"
                (Pool.queued st.pool) (Pool.inflight st.pool) st.completed
-               (List.length st.clients) st.draining)
+               (List.length st.clients) st.draining (workers_json st))
+      | Some (Str "health") ->
+          send_line st c
+            (Printf.sprintf
+               "{\"status\":\"ok\",\"version\":\"%s\",\
+                \"fingerprint\":\"%s\",\"uptime_s\":%.1f,\
+                \"workers\":%d,\"workers_alive\":%d,\"queued\":%d,\
+                \"inflight\":%d,\"completed\":%d,\"draining\":%b,\
+                \"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}}"
+               (esc version) (esc st.fingerprint)
+               (Unix.gettimeofday () -. st.started)
+               (List.length (Pool.worker_states st.pool))
+               (Pool.alive_workers st.pool) (Pool.queued st.pool)
+               (Pool.inflight st.pool) st.completed st.draining
+               (latency_ms 0.50) (latency_ms 0.95) (latency_ms 0.99))
+      | Some (Str "metrics") ->
+          (* daemon registry + everything the workers have reported *)
+          let snap =
+            Telemetry.Snapshot.merge
+              (Telemetry.Snapshot.capture ())
+              (Pool.metrics_snapshot st.pool)
+          in
+          let prometheus =
+            match member "format" j with
+            | Some (Str "prometheus") -> true
+            | _ -> false
+          in
+          if prometheus then
+            send_line st c
+              (Printf.sprintf
+                 "{\"status\":\"ok\",\"format\":\"prometheus\",\
+                  \"text\":\"%s\"}"
+                 (esc (Telemetry.Snapshot.to_prometheus snap)))
+          else
+            send_line st c
+              (Printf.sprintf "{\"status\":\"ok\",\"metrics\":%s}"
+                 (Telemetry.Snapshot.to_json snap))
       | Some (Str "drain") ->
           st.draining <- true;
           c.c_draining <- true;
@@ -149,10 +211,14 @@ let handle_request st (c : client) line =
                   | None -> "null")
                  (Pool.pending st.pool))
           end
-      | _ -> reject st c ~id "unknown op (submit, ping, stats, drain)")
+      | _ ->
+          reject st c ~id
+            "unknown op (submit, ping, stats, health, metrics, drain)")
 
 let route_result st (r : Pool.result) =
   st.completed <- st.completed + 1;
+  Telemetry.Metrics.observe m_latency
+    (int_of_float ((r.r_done -. r.r_submitted) *. 1e6));
   match Hashtbl.find_opt st.routes r.r_key with
   | None -> Telemetry.Metrics.incr m_dropped
   | Some c ->
@@ -203,9 +269,14 @@ let run (cfg : config) ~(pool : Pool.t) : unit =
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
   Unix.listen listen_fd cfg.accept_backlog;
+  let started = Unix.gettimeofday () in
   let st =
     { cfg; pool; listen_fd; clients = []; routes = Hashtbl.create 64;
-      next_tag = 0; draining = false; completed = 0 }
+      next_tag = 0; draining = false; completed = 0; started;
+      fingerprint =
+        Robust.Journal.fingerprint
+          [ version; string_of_int (Unix.getpid ());
+            Printf.sprintf "%.6f" started ] }
   in
   (* respawned workers must not hold the daemon's sockets open *)
   Pool.set_at_fork pool (fun () ->

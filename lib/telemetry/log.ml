@@ -48,10 +48,18 @@ let set_level l = current := l
     arguments. *)
 let enabled l = severity l <= severity !current && l <> Quiet
 
+(* every line gets this prefix — forked fleet workers set it to their
+   slot id ("[w3] ") so multi-worker stderr no longer interleaves
+   indistinguishably with the parent's *)
+let prefix : string ref = ref ""
+
+let set_prefix p = prefix := p
+
 let logf l fmt =
   if enabled l then
-    Printf.eprintf ("[%s] " ^^ fmt ^^ "\n%!") (level_name l)
-  else Printf.ifprintf stderr ("[%s] " ^^ fmt ^^ "\n%!") (level_name l)
+    Printf.eprintf ("%s[%s] " ^^ fmt ^^ "\n%!") !prefix (level_name l)
+  else
+    Printf.ifprintf stderr ("%s[%s] " ^^ fmt ^^ "\n%!") !prefix (level_name l)
 
 let errorf fmt = logf Error fmt
 let warnf fmt = logf Warn fmt

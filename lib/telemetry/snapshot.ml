@@ -1,0 +1,332 @@
+(** Serializable, mergeable registry snapshots — the unit of
+    cross-process metrics aggregation.
+
+    A fleet worker cannot share the master's in-memory registry, so it
+    periodically captures its registry as a {!t}, diffs it against the
+    baseline inherited at [fork] (a forked child starts with the
+    parent's counter values already in place), and ships the delta
+    over its reply pipe as one line of JSON.  The master merges worker
+    deltas (counter-add, gauge-last, bucket-wise histogram add) and
+    {!publish}es the aggregate back into its own live registry, so a
+    whole fleet run reads like one process in [Metrics.snapshot].
+
+    Snapshots are plain immutable values with name-sorted association
+    lists, so structural equality and deterministic serialization come
+    for free — the merge-equals-sequential tests compare them with
+    [=]. *)
+
+type histo = {
+  hs_count : int;
+  hs_sum : int;
+  hs_max : int;
+  hs_buckets : (int * int) list;
+      (** (bucket index, count), ascending, non-zero entries only *)
+}
+
+type t = {
+  counters : (string * int) list;  (** sorted by name *)
+  gauges : (string * float) list;
+  histograms : (string * histo) list;
+}
+
+let empty = { counters = []; gauges = []; histograms = [] }
+
+let is_empty t = t.counters = [] && t.gauges = [] && t.histograms = []
+
+let find_counter t name =
+  match List.assoc_opt name t.counters with Some v -> v | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Capture                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** The live registry as a snapshot ([Metrics.snapshot] order, so the
+    lists come out name-sorted). *)
+let capture () : t =
+  List.fold_left
+    (fun acc (name, r) ->
+       match (r : Metrics.reading) with
+       | Metrics.Vcounter v ->
+           { acc with counters = (name, v) :: acc.counters }
+       | Metrics.Vgauge v -> { acc with gauges = (name, v) :: acc.gauges }
+       | Metrics.Vhistogram { count; sum; max; buckets } ->
+           { acc with
+             histograms =
+               ( name,
+                 { hs_count = count; hs_sum = sum; hs_max = max;
+                   hs_buckets = buckets } )
+               :: acc.histograms })
+    empty (Metrics.snapshot ())
+  |> fun t ->
+  { counters = List.rev t.counters;
+    gauges = List.rev t.gauges;
+    histograms = List.rev t.histograms }
+
+(* ------------------------------------------------------------------ *)
+(* Diff and merge                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* fold two name-sorted assoc lists into one, combining values present
+   on both sides *)
+let merge_assoc (combine : 'a -> 'a -> 'a) a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], rest | rest, [] -> List.rev_append acc rest
+    | (ka, va) :: ta, (kb, vb) :: tb ->
+        if ka < kb then go ta b ((ka, va) :: acc)
+        else if kb < ka then go a tb ((kb, vb) :: acc)
+        else go ta tb ((ka, combine va vb) :: acc)
+  in
+  go a b []
+
+let merge_buckets a b =
+  merge_assoc ( + ) a b |> List.filter (fun (_, n) -> n > 0)
+
+let sub_buckets cur base =
+  merge_buckets cur (List.map (fun (i, n) -> (i, -n)) base)
+
+let merge_histo a b =
+  { hs_count = a.hs_count + b.hs_count;
+    hs_sum = a.hs_sum + b.hs_sum;
+    hs_max = max a.hs_max b.hs_max;
+    hs_buckets = merge_buckets a.hs_buckets b.hs_buckets }
+
+(** [merge a b]: counters add, gauges take [b]'s value where both have
+    one ("gauge-last"), histograms add bucket-wise (count and sum add,
+    max takes the max). *)
+let merge a b =
+  { counters = merge_assoc ( + ) a.counters b.counters;
+    gauges = merge_assoc (fun _ vb -> vb) a.gauges b.gauges;
+    histograms = merge_assoc merge_histo a.histograms b.histograms }
+
+(** [diff ~base cur] is what happened since [base]: counter and
+    histogram deltas (zero deltas dropped, so a fresh worker that did
+    nothing ships an empty snapshot), gauges at their current value
+    when they moved.  A histogram delta keeps the current max — the
+    per-interval max is not recoverable from a cumulative registry,
+    and for merge purposes an over-approximation is harmless. *)
+let diff ~base cur =
+  let counters =
+    List.filter_map
+      (fun (name, v) ->
+         let d = v - find_counter base name in
+         if d = 0 then None else Some (name, d))
+      cur.counters
+  in
+  let gauges =
+    List.filter
+      (fun (name, v) ->
+         match List.assoc_opt name base.gauges with
+         | Some b -> v <> b
+         | None -> v <> 0.0)
+      cur.gauges
+  in
+  let histograms =
+    List.filter_map
+      (fun (name, h) ->
+         match List.assoc_opt name base.histograms with
+         | None -> if h.hs_count = 0 then None else Some (name, h)
+         | Some b ->
+             let d =
+               { hs_count = h.hs_count - b.hs_count;
+                 hs_sum = h.hs_sum - b.hs_sum;
+                 hs_max = h.hs_max;
+                 hs_buckets = sub_buckets h.hs_buckets b.hs_buckets }
+             in
+             if d.hs_count = 0 then None else Some (name, d))
+      cur.histograms
+  in
+  { counters; gauges; histograms }
+
+(* ------------------------------------------------------------------ *)
+(* Publish                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold a snapshot additively into the live registry, creating the
+    metrics as needed.  With [prefix] every metric lands under its own
+    name-spaced copy ([worker3.vm.steps]); without, the values
+    accumulate into the canonical metrics, which is how a fleet
+    aggregate becomes indistinguishable from a sequential run for
+    deterministic counters. *)
+let publish ?(prefix = "") t =
+  List.iter
+    (fun (name, v) -> Metrics.add (Metrics.counter (prefix ^ name)) v)
+    t.counters;
+  List.iter
+    (fun (name, v) -> Metrics.set (Metrics.gauge (prefix ^ name)) v)
+    t.gauges;
+  List.iter
+    (fun (name, hs) ->
+       let h = Metrics.histogram (prefix ^ name) in
+       List.iter
+         (fun (i, n) ->
+            if i >= 0 && i < Metrics.num_buckets then
+              h.Metrics.h_buckets.(i) <- h.Metrics.h_buckets.(i) + n)
+         hs.hs_buckets;
+       h.Metrics.h_count <- h.Metrics.h_count + hs.hs_count;
+       h.Metrics.h_sum <- h.Metrics.h_sum + hs.hs_sum;
+       if hs.hs_max > h.Metrics.h_max then h.Metrics.h_max <- hs.hs_max)
+    t.histograms
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+       match ch with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** One line, no spaces — snapshots cross the fleet's line-framed
+    pipes verbatim.  [%.17g] keeps gauge floats exact across the round
+    trip. *)
+let to_json t =
+  let buf = Buffer.create 256 in
+  let sep = ref false in
+  let field body =
+    if !sep then Buffer.add_char buf ',';
+    sep := true;
+    Buffer.add_string buf body
+  in
+  Buffer.add_string buf "{\"c\":{";
+  List.iter
+    (fun (name, v) ->
+       field (Printf.sprintf "\"%s\":%d" (json_escape name) v))
+    t.counters;
+  Buffer.add_string buf "},\"g\":{";
+  sep := false;
+  List.iter
+    (fun (name, v) ->
+       field (Printf.sprintf "\"%s\":%.17g" (json_escape name) v))
+    t.gauges;
+  Buffer.add_string buf "},\"h\":{";
+  sep := false;
+  List.iter
+    (fun (name, h) ->
+       field
+         (Printf.sprintf "\"%s\":{\"n\":%d,\"s\":%d,\"m\":%d,\"b\":[%s]}"
+            (json_escape name) h.hs_count h.hs_sum h.hs_max
+            (String.concat ","
+               (List.map
+                  (fun (i, n) -> Printf.sprintf "[%d,%d]" i n)
+                  h.hs_buckets))))
+    t.histograms;
+  Buffer.add_string buf "}}";
+  Buffer.contents buf
+
+let of_json line : t option =
+  let open Trace_check in
+  let sort l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let int = function Num n -> Some (int_of_float n) | _ -> None in
+  match parse_opt line with
+  | None -> None
+  | Some j -> (
+      let obj name =
+        match member name j with Some (Obj fields) -> Some fields | _ -> None
+      in
+      match (obj "c", obj "g", obj "h") with
+      | Some cs, Some gs, Some hs -> (
+          let counters =
+            List.filter_map
+              (fun (k, v) -> Option.map (fun n -> (k, n)) (int v))
+              cs
+          in
+          let gauges =
+            List.filter_map
+              (fun (k, v) ->
+                 match v with Num f -> Some (k, f) | _ -> None)
+              gs
+          in
+          let histo v =
+            match
+              (Option.bind (member "n" v) int,
+               Option.bind (member "s" v) int,
+               Option.bind (member "m" v) int,
+               member "b" v)
+            with
+            | Some n, Some s, Some m, Some (Arr pairs) ->
+                let buckets =
+                  List.filter_map
+                    (function
+                      | Arr [ Num i; Num c ] ->
+                          Some (int_of_float i, int_of_float c)
+                      | _ -> None)
+                    pairs
+                in
+                if List.length buckets = List.length pairs then
+                  Some
+                    { hs_count = n; hs_sum = s; hs_max = m;
+                      hs_buckets = buckets }
+                else None
+            | _ -> None
+          in
+          let histograms =
+            List.map (fun (k, v) -> (k, histo v)) hs
+          in
+          if List.for_all (fun (_, h) -> h <> None) histograms then
+            Some
+              { counters = sort counters;
+                gauges = sort gauges;
+                histograms =
+                  sort
+                    (List.filter_map
+                       (fun (k, h) -> Option.map (fun h -> (k, h)) h)
+                       histograms) }
+          else None)
+      | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus-style text exposition                                    *)
+(* ------------------------------------------------------------------ *)
+
+let prom_name name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+       | _ -> '_')
+    name
+
+(** Prometheus text format: counters and gauges as single samples,
+    histograms as cumulative [_bucket{le=…}] series plus [_sum] and
+    [_count].  Dotted registry names flatten to underscores. *)
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun (name, v) ->
+       let n = prom_name name in
+       pr "# TYPE %s counter\n%s %d\n" n n v)
+    t.counters;
+  List.iter
+    (fun (name, v) ->
+       let n = prom_name name in
+       pr "# TYPE %s gauge\n%s %g\n" n n v)
+    t.gauges;
+  List.iter
+    (fun (name, h) ->
+       let n = prom_name name in
+       pr "# TYPE %s histogram\n" n;
+       let cum = ref 0 in
+       List.iter
+         (fun (i, c) ->
+            cum := !cum + c;
+            let _, hi = Metrics.bucket_range i in
+            pr "%s_bucket{le=\"%d\"} %d\n" n hi !cum)
+         h.hs_buckets;
+       pr "%s_bucket{le=\"+Inf\"} %d\n" n h.hs_count;
+       pr "%s_sum %d\n" n h.hs_sum;
+       pr "%s_count %d\n" n h.hs_count)
+    t.histograms;
+  Buffer.contents buf

@@ -14,6 +14,7 @@
 module Metrics = Metrics
 module Log = Log
 module Trace_check = Trace_check
+module Snapshot = Snapshot
 
 (* ------------------------------------------------------------------ *)
 (* Clock                                                               *)
@@ -216,22 +217,27 @@ let attrs_json attrs =
           Printf.sprintf "\"%s\": \"%s\"" (json_escape k) (json_escape v))
        attrs)
 
-(** One finished span per line: id, parent, name, start/duration in
-    µs, attributes. *)
+(** One span as a single JSONL object (no trailing newline): id,
+    parent, name, start/duration in µs, attributes.  The fleet's
+    per-worker span shards append these incrementally. *)
+let span_jsonl s =
+  Printf.sprintf
+    "{\"id\": %d, \"parent\": %s, \"name\": \"%s\", \
+     \"ts_us\": %.1f, \"dur_us\": %.1f%s}"
+    s.id
+    (match s.parent with Some p -> string_of_int p | None -> "null")
+    (json_escape s.name) s.t_start (duration_us s)
+    (match s.attrs with
+     | [] -> ""
+     | attrs -> Printf.sprintf ", \"args\": {%s}" (attrs_json attrs))
+
+(** One finished span per line. *)
 let to_jsonl () =
   let buf = Buffer.create 1024 in
   List.iter
     (fun s ->
-       Buffer.add_string buf
-         (Printf.sprintf
-            "{\"id\": %d, \"parent\": %s, \"name\": \"%s\", \
-             \"ts_us\": %.1f, \"dur_us\": %.1f%s}\n"
-            s.id
-            (match s.parent with Some p -> string_of_int p | None -> "null")
-            (json_escape s.name) s.t_start (duration_us s)
-            (match s.attrs with
-             | [] -> ""
-             | attrs -> Printf.sprintf ", \"args\": {%s}" (attrs_json attrs))))
+       Buffer.add_string buf (span_jsonl s);
+       Buffer.add_char buf '\n')
     (finished_spans ());
   Buffer.contents buf
 

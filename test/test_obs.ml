@@ -1,0 +1,413 @@
+(** Observability battery: snapshot codec round trips, merge algebra
+    (counter-add, gauge-last, bucket-exact histogram add), histogram
+    quantiles, fleet metrics aggregation equalling the sequential
+    registry for 2- and 4-worker runs, a SIGKILLed worker's last
+    snapshot surviving into the pool aggregate, the per-cell profiler
+    (codec, sidecar files, fleet shard merge), and the span-shard
+    Chrome merger. *)
+
+module Snap = Telemetry.Snapshot
+
+let snap =
+  Alcotest.testable
+    (fun fmt s -> Format.pp_print_string fmt (Snap.to_json s))
+    ( = )
+
+(* ---------------- snapshot codec ---------------- *)
+
+let synthetic =
+  { Snap.counters = [ ("t.a", 3); ("t.b", 5) ];
+    gauges = [ ("t.g", 1.25); ("t.neg", -0.5) ];
+    histograms =
+      [ ( "t.h",
+          { Snap.hs_count = 3; hs_sum = 10; hs_max = 6;
+            hs_buckets = [ (1, 1); (3, 2) ] } ) ] }
+
+let codec_round_trip () =
+  (match Snap.of_json (Snap.to_json synthetic) with
+   | Some s -> Alcotest.check snap "synthetic round trips" synthetic s
+   | None -> Alcotest.fail "synthetic snapshot does not decode");
+  Alcotest.check snap "empty round trips" Snap.empty
+    (Option.get (Snap.of_json (Snap.to_json Snap.empty)));
+  Alcotest.(check (option snap)) "garbage rejected" None
+    (Snap.of_json "{\"c\":[1,2]}");
+  Alcotest.(check (option snap)) "non-JSON rejected" None
+    (Snap.of_json "not json at all")
+
+let codec_captures_registry () =
+  let c = Telemetry.Metrics.counter "test.obs.codec.count" in
+  let g = Telemetry.Metrics.gauge "test.obs.codec.gauge" in
+  let h = Telemetry.Metrics.histogram "test.obs.codec.histo" in
+  Telemetry.Metrics.add c 7;
+  Telemetry.Metrics.set g 2.5;
+  List.iter (Telemetry.Metrics.observe h) [ 1; 2; 900 ];
+  let cap = Snap.capture () in
+  match Snap.of_json (Snap.to_json cap) with
+  | None -> Alcotest.fail "captured registry does not decode"
+  | Some s ->
+      Alcotest.check snap "capture round trips" cap s;
+      Alcotest.(check int) "counter value carried" 7
+        (Snap.find_counter s "test.obs.codec.count")
+
+(* ---------------- merge algebra ---------------- *)
+
+let merge_algebra () =
+  let a =
+    { Snap.counters = [ ("c.x", 2); ("c.y", 1) ];
+      gauges = [ ("g", 1.0) ];
+      histograms =
+        [ ( "h",
+            { Snap.hs_count = 2; hs_sum = 5; hs_max = 4;
+              hs_buckets = [ (1, 1); (3, 1) ] } ) ] }
+  in
+  let b =
+    { Snap.counters = [ ("c.x", 3); ("c.z", 4) ];
+      gauges = [ ("g", 9.0) ];
+      histograms =
+        [ ( "h",
+            { Snap.hs_count = 3; hs_sum = 20; hs_max = 16;
+              hs_buckets = [ (3, 2); (5, 1) ] } ) ] }
+  in
+  let m = Snap.merge a b in
+  Alcotest.(check int) "counters add" 5 (Snap.find_counter m "c.x");
+  Alcotest.(check int) "left-only counter kept" 1 (Snap.find_counter m "c.y");
+  Alcotest.(check int) "right-only counter kept" 4 (Snap.find_counter m "c.z");
+  Alcotest.(check (option (float 0.0))) "gauge-last wins" (Some 9.0)
+    (List.assoc_opt "g" m.Snap.gauges);
+  let h = List.assoc "h" m.Snap.histograms in
+  Alcotest.(check int) "histogram counts add" 5 h.Snap.hs_count;
+  Alcotest.(check int) "histogram sums add" 25 h.Snap.hs_sum;
+  Alcotest.(check int) "histogram max maxes" 16 h.Snap.hs_max;
+  Alcotest.(check (list (pair int int))) "buckets add bucket-wise"
+    [ (1, 1); (3, 3); (5, 1) ]
+    h.Snap.hs_buckets;
+  (* merge of two diffs equals the diff across both intervals *)
+  let d1 = Snap.diff ~base:Snap.empty a in
+  Alcotest.check snap "diff from empty is identity" a d1
+
+let merge_publish_into_registry () =
+  let h0 =
+    { Snap.hs_count = 3; hs_sum = 10; hs_max = 6;
+      hs_buckets = [ (1, 1); (3, 2) ] }
+  in
+  let s =
+    { Snap.counters = [ ("test.obs.pub.c", 11) ];
+      gauges = [ ("test.obs.pub.g", 4.5) ];
+      histograms = [ ("test.obs.pub.h", h0) ] }
+  in
+  Snap.publish ~prefix:"pre." s;
+  Alcotest.(check int) "published counter lands prefixed" 11
+    (Telemetry.Metrics.counter_value "pre.test.obs.pub.c");
+  let h = Telemetry.Metrics.histogram "pre.test.obs.pub.h" in
+  Alcotest.(check int) "published histogram count" 3
+    h.Telemetry.Metrics.h_count;
+  Alcotest.(check int) "published histogram sum" 10
+    h.Telemetry.Metrics.h_sum;
+  Alcotest.(check int) "published histogram max" 6 h.Telemetry.Metrics.h_max;
+  (* publishing twice accumulates — the pool guards with [published] *)
+  Snap.publish ~prefix:"pre." s;
+  Alcotest.(check int) "second publish adds" 22
+    (Telemetry.Metrics.counter_value "pre.test.obs.pub.c")
+
+let quantiles () =
+  let h = Telemetry.Metrics.histogram "test.obs.quant" in
+  Alcotest.(check int) "empty histogram quantile" 0
+    (Telemetry.Metrics.quantile h 0.5);
+  for _ = 1 to 90 do Telemetry.Metrics.observe h 3 done;
+  for _ = 1 to 10 do Telemetry.Metrics.observe h 1000 done;
+  (* 3 lands in bucket (2,3); 1000 in (512,1023) *)
+  Alcotest.(check int) "p50 in the low bucket" 3
+    (Telemetry.Metrics.quantile h 0.50);
+  Alcotest.(check int) "p95 in the tail bucket (clamped to max)" 1000
+    (Telemetry.Metrics.quantile h 0.95);
+  Alcotest.(check int) "p100 = max" 1000 (Telemetry.Metrics.quantile h 1.0)
+
+let prometheus_exposition () =
+  let text = Snap.to_prometheus synthetic in
+  let has needle =
+    let nl = String.length needle and tl = String.length text in
+    let rec go i = i + nl <= tl && (String.sub text i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter sample" true (has "t_a 3");
+  Alcotest.(check bool) "gauge sample" true (has "t_g 1.25");
+  Alcotest.(check bool) "histogram +Inf bucket" true
+    (has "t_h_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "histogram count" true (has "t_h_count 3");
+  Alcotest.(check bool) "cumulative le buckets" true
+    (has "t_h_bucket{le=\"1\"} 1")
+
+(* ---------------- fleet aggregation ---------------- *)
+
+let det_tools = [ Engines.Profile.Bap; Engines.Profile.Triton ]
+
+let det_bombs =
+  List.map Bombs.Catalog.find [ "time_bomb"; "argvlen_bomb"; "stack_bomb" ]
+
+let det_prefixes = [ "vm."; "smt."; "lifter."; "taint."; "concolic." ]
+
+let has_prefix name p =
+  String.length name >= String.length p
+  && String.sub name 0 (String.length p) = p
+
+(* the deterministic engine counters a run bumped, as (name, delta) *)
+let engine_counters ~base cur =
+  List.filter
+    (fun (name, _) -> List.exists (has_prefix name) det_prefixes)
+    (Snap.diff ~base cur).Snap.counters
+
+let fleet_counters_equal_sequential () =
+  (* fleet runs first: their workers fork from a master that has never
+     executed a cell in-process, the same cold state the sequential
+     pass (whose cells also haven't run yet) starts from *)
+  let fleet_diffs =
+    List.map
+      (fun workers ->
+         let base = Snap.capture () in
+         let _ =
+           Engines.Parallel.run_table2 ~tools:det_tools ~bombs:det_bombs
+             ~workers ~snapshots:true ()
+         in
+         (workers, engine_counters ~base (Snap.capture ())))
+      [ 2; 4 ]
+  in
+  let base = Snap.capture () in
+  let _ = Engines.Eval.run_table2 ~tools:det_tools ~bombs:det_bombs () in
+  let seq = engine_counters ~base (Snap.capture ()) in
+  Alcotest.(check bool) "sequential run moved the engine counters" true
+    (List.mem_assoc "vm.steps" seq && List.assoc "vm.steps" seq > 0);
+  List.iter
+    (fun (workers, fleet) ->
+       List.iter
+         (fun (name, v) ->
+            Alcotest.(check int)
+              (Printf.sprintf "%s (%d workers) = sequential" name workers)
+              v
+              (match List.assoc_opt name fleet with Some d -> d | None -> 0))
+         seq;
+       (* and nothing extra: the fleet must not bump engine counters
+          the sequential run did not *)
+       List.iter
+         (fun (name, v) ->
+            if not (List.mem_assoc name seq) then
+              Alcotest.failf
+                "fleet (%d workers) bumped %s by %d; sequential did not"
+                workers name v)
+         fleet)
+    fleet_diffs
+
+let sigkill_snapshot_survives () =
+  let survive = "test.obs.survive" and lost = "test.obs.lost" in
+  let config =
+    { Fleet.Pool.default_config with
+      workers = 1; respawns = 0; task_timeout = Some 0.5; snapshots = true }
+  in
+  let t =
+    Fleet.Pool.create ~config (fun ~attempt:_ ~key ->
+        fun _task ->
+          if key = "bump" then begin
+            Telemetry.Metrics.incr (Telemetry.Metrics.counter survive);
+            "ok"
+          end
+          else begin
+            (* this increment must NOT surface: the worker is SIGKILLed
+               before it replies, so no snapshot ships it *)
+            Telemetry.Metrics.incr (Telemetry.Metrics.counter lost);
+            Unix.sleep 30;
+            "unreachable"
+          end)
+  in
+  Fleet.Pool.submit t ~key:"bump" ~task:"x";
+  Fleet.Pool.submit t ~key:"hang" ~task:"x";
+  let results = Fleet.Pool.drain t in
+  let agg = Fleet.Pool.metrics_snapshot t in
+  Fleet.Pool.shutdown t;
+  Alcotest.(check int) "completed task's counter survives the SIGKILL" 1
+    (Snap.find_counter agg survive);
+  Alcotest.(check int) "killed task's partial work never double-counts" 0
+    (Snap.find_counter agg lost);
+  match
+    (List.find (fun (r : Fleet.Pool.result) -> r.r_key = "hang") results)
+      .r_payload
+  with
+  | Error (Fleet.Pool.Worker_lost _) -> ()
+  | _ -> Alcotest.fail "hanging task must be Worker_lost"
+
+let shutdown_flush_collects_final_snapshot () =
+  let c = "test.obs.final_flush" in
+  let config =
+    { Fleet.Pool.default_config with workers = 2; snapshots = true }
+  in
+  let t =
+    Fleet.Pool.create ~config (fun ~attempt:_ ~key:_ ->
+        fun task ->
+          Telemetry.Metrics.incr (Telemetry.Metrics.counter c);
+          task)
+  in
+  for i = 0 to 9 do
+    Fleet.Pool.submit t ~key:(Printf.sprintf "k%d" i) ~task:"x"
+  done;
+  ignore (Fleet.Pool.drain t);
+  Fleet.Pool.shutdown t;
+  Alcotest.(check int) "every task's bump aggregated" 10
+    (Snap.find_counter (Fleet.Pool.metrics_snapshot t) c);
+  (* publish folds the aggregate into the master registry, once *)
+  let before = Telemetry.Metrics.counter_value c in
+  Fleet.Pool.publish_metrics t;
+  Fleet.Pool.publish_metrics t;
+  Alcotest.(check int) "publish is idempotent" (before + 10)
+    (Telemetry.Metrics.counter_value c)
+
+(* ---------------- per-cell profiler ---------------- *)
+
+let profiled_sample_and_codec () =
+  let bomb = Bombs.Catalog.find "time_bomb" in
+  let o, s =
+    Engines.Cellprof.profiled ~phases:true ~key:"BAP/time_bomb" (fun () ->
+        Engines.Supervisor.run_cell Engines.Profile.Bap bomb)
+  in
+  Alcotest.(check string) "grade recorded"
+    (Concolic.Error.cell_symbol o.Engines.Supervisor.graded.Engines.Grade.cell)
+    s.Engines.Cellprof.p_grade;
+  Alcotest.(check bool) "vm steps measured" true
+    (s.Engines.Cellprof.p_vm_steps > 0);
+  Alcotest.(check bool) "wall time measured" true
+    (s.Engines.Cellprof.p_wall_us > 0.0);
+  Alcotest.(check bool) "phase breakdown recorded" true
+    (List.mem_assoc "cell" s.Engines.Cellprof.p_phases);
+  let enc = Engines.Cellprof.encode s in
+  match Engines.Cellprof.decode enc with
+  | None -> Alcotest.fail "profile sample does not decode"
+  | Some s' ->
+      Alcotest.(check string) "codec round trips" enc
+        (Engines.Cellprof.encode s')
+
+let profile_sidecar_sequential () =
+  let path = Filename.temp_file "obs_prof_seq" ".jsonl" in
+  Sys.remove path;
+  let _ =
+    Engines.Eval.run_table2 ~tools:det_tools ~bombs:det_bombs ~profile:path ()
+  in
+  let samples = Engines.Cellprof.load path in
+  Sys.remove path;
+  let keys =
+    List.sort compare
+      (List.map (fun s -> s.Engines.Cellprof.p_key) samples)
+  in
+  let grid =
+    List.sort compare
+      (List.concat_map
+         (fun b ->
+            List.map (fun t -> Engines.Eval.cell_key t b) det_tools)
+         det_bombs)
+  in
+  Alcotest.(check (list string)) "one sample per grid cell" grid keys
+
+let profile_sidecar_fleet () =
+  let path = Filename.temp_file "obs_prof_par" ".jsonl" in
+  Sys.remove path;
+  let _ =
+    Engines.Parallel.run_table2 ~tools:det_tools ~bombs:det_bombs ~workers:2
+      ~profile:path ()
+  in
+  let samples = Engines.Cellprof.load path in
+  Alcotest.(check int) "per-slot shards merged away" 0
+    (List.length (Engines.Cellprof.existing_shards ~path));
+  Sys.remove path;
+  let keys =
+    List.sort compare
+      (List.map (fun s -> s.Engines.Cellprof.p_key) samples)
+  in
+  let grid =
+    List.sort compare
+      (List.concat_map
+         (fun b ->
+            List.map (fun t -> Engines.Eval.cell_key t b) det_tools)
+         det_bombs)
+  in
+  Alcotest.(check (list string)) "fleet sidecar covers the grid" grid keys;
+  List.iter
+    (fun s ->
+       Alcotest.(check bool)
+         (s.Engines.Cellprof.p_key ^ " profiled real work") true
+         (s.Engines.Cellprof.p_vm_steps > 0))
+    samples
+
+(* ---------------- span shards ---------------- *)
+
+let span_shards_merge_to_chrome () =
+  let base = Filename.temp_file "obs_spans" "" in
+  Sys.remove base;
+  let was = Telemetry.is_enabled () in
+  Telemetry.reset ();
+  Telemetry.enable ();
+  Telemetry.with_span "alpha" (fun () ->
+      Telemetry.with_span "beta" (fun () -> ()));
+  Fleet.Spans.flush_shard ~base ~slot:0;
+  Telemetry.with_span "gamma" (fun () -> ());
+  Fleet.Spans.flush_shard ~base ~slot:3;
+  if not was then Telemetry.disable ();
+  let out = base ^ ".chrome.json" in
+  let report = Fleet.Spans.merge_chrome ~base ~out () in
+  Alcotest.(check int) "two shards merged" 2
+    report.Fleet.Spans.mr_shards;
+  Alcotest.(check int) "three spans stitched" 3 report.Fleet.Spans.mr_spans;
+  Alcotest.(check int) "nothing skipped" 0 report.Fleet.Spans.mr_skipped;
+  Alcotest.(check int) "shards removed after merge" 0
+    (List.length (Fleet.Spans.existing_shards ~base));
+  (match Telemetry.Trace_check.validate_chrome_file out with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "merged trace invalid: %s" e);
+  Sys.remove out
+
+let span_shard_torn_tail_skipped () =
+  let base = Filename.temp_file "obs_torn" "" in
+  Sys.remove base;
+  let shard = Fleet.Spans.shard_path ~base 1 in
+  let oc = open_out shard in
+  output_string oc
+    "{\"id\": 0, \"parent\": null, \"name\": \"ok\", \"ts_us\": 1.0, \
+     \"dur_us\": 2.0}\n";
+  output_string oc "{\"id\": 1, \"parent\": null, \"na";  (* torn tail *)
+  close_out oc;
+  let out = base ^ ".chrome.json" in
+  let report = Fleet.Spans.merge_chrome ~base ~out () in
+  Alcotest.(check int) "good span kept" 1 report.Fleet.Spans.mr_spans;
+  Alcotest.(check int) "torn line skipped, not fatal" 1
+    report.Fleet.Spans.mr_skipped;
+  (match Telemetry.Trace_check.validate_chrome_file out with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "trace with skipped tail invalid: %s" e);
+  Sys.remove out
+
+let () =
+  Alcotest.run "obs"
+    [ ("snapshot",
+       [ Alcotest.test_case "JSON codec round trips" `Quick codec_round_trip;
+         Alcotest.test_case "captured registry round trips" `Quick
+           codec_captures_registry;
+         Alcotest.test_case "merge algebra" `Quick merge_algebra;
+         Alcotest.test_case "publish folds into the registry" `Quick
+           merge_publish_into_registry;
+         Alcotest.test_case "histogram quantiles" `Quick quantiles;
+         Alcotest.test_case "prometheus exposition" `Quick
+           prometheus_exposition ]);
+      ("fleet",
+       [ Alcotest.test_case "2/4-worker counters = sequential" `Quick
+           fleet_counters_equal_sequential;
+         Alcotest.test_case "SIGKILLed worker's snapshot survives" `Quick
+           sigkill_snapshot_survives;
+         Alcotest.test_case "shutdown flush + idempotent publish" `Quick
+           shutdown_flush_collects_final_snapshot ]);
+      ("profile",
+       [ Alcotest.test_case "profiled sample + codec" `Quick
+           profiled_sample_and_codec;
+         Alcotest.test_case "sequential sidecar covers the grid" `Quick
+           profile_sidecar_sequential;
+         Alcotest.test_case "fleet shards merge to one sidecar" `Quick
+           profile_sidecar_fleet ]);
+      ("spans",
+       [ Alcotest.test_case "shards merge to valid Chrome trace" `Quick
+           span_shards_merge_to_chrome;
+         Alcotest.test_case "torn shard tail skipped" `Quick
+           span_shard_torn_tail_skipped ]) ]
