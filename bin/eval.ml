@@ -62,9 +62,10 @@ let write_metrics_out path =
     (Telemetry.Metrics.snapshot ());
   close_out oc
 
-let run_table2_common ~require_journal no_incremental no_ladder budget_spec
-    retries backoff tools_filter bombs_filter journal kill_after kill_torn
-    trace_dir workers profile fleet_trace progress metrics_out =
+let run_table2_common ~require_journal ?(force = false) no_incremental
+    no_ladder budget_spec retries backoff tools_filter bombs_filter journal
+    kill_after kill_torn trace_dir workers profile fleet_trace progress
+    metrics_out =
   set_trace_dir trace_dir;
   if workers < 1 then begin
     Printf.eprintf "--workers must be >= 1\n";
@@ -96,6 +97,24 @@ let run_table2_common ~require_journal no_incremental no_ladder budget_spec
           "resume: journal %s does not exist (nothing to resume)\n" path;
         exit 2
       end;
+      (* refuse to silently re-run a whole grid because one flag
+         differs from the interrupted run: compare the journal's
+         stamped fingerprint against this invocation's before work *)
+      let expected =
+        Engines.Eval.journal_fingerprint ~incremental:(not no_incremental)
+          ?ladder ~policy ~tools ~bombs ()
+      in
+      (match Robust.Journal.peek_fingerprint path with
+       | Some found when found <> expected && not force ->
+         Printf.eprintf
+           "%s: journal %s was written under a different configuration \
+            (journal fingerprint %s, this run %s) — rerun with the \
+            original flags, or pass --force to ignore the journal and \
+            re-grade every cell\n"
+           (if require_journal then "resume" else "table2")
+           path found expected;
+         exit 2
+       | _ -> ());
       Some
         { Engines.Eval.journal_path = path; kill_after; kill_torn }
   in
@@ -144,25 +163,39 @@ let run_table2 no_incremental no_ladder budget_spec retries backoff
     budget_spec retries backoff tools_filter bombs_filter journal kill_after
     kill_torn trace_dir workers profile fleet_trace progress metrics_out
 
-let run_resume no_incremental no_ladder budget_spec retries backoff
+let run_resume force no_incremental no_ladder budget_spec retries backoff
     tools_filter bombs_filter journal trace_dir workers profile fleet_trace
     progress metrics_out =
-  run_table2_common ~require_journal:true no_incremental no_ladder budget_spec
-    retries backoff tools_filter bombs_filter journal None false trace_dir
-    workers profile fleet_trace progress metrics_out
+  run_table2_common ~require_journal:true ~force no_incremental no_ladder
+    budget_spec retries backoff tools_filter bombs_filter journal None false
+    trace_dir workers profile fleet_trace progress metrics_out
 
 (* ------------------------------------------------------------------ *)
 (* Fleet service: serve / submit / drain                               *)
 (* ------------------------------------------------------------------ *)
 
-let run_serve socket workers max_queue trace_dir =
+let run_serve socket workers max_queue queue_journal force task_timeout
+    breaker trace_dir =
   set_trace_dir trace_dir;
   if workers < 1 then begin
     Printf.eprintf "--workers must be >= 1\n";
     exit 2
   end;
-  match Engines.Service.serve ~workers ~max_queue ~socket () with
+  match
+    Engines.Service.serve ~workers ~max_queue ?queue_journal ~force
+      ?task_timeout:(if task_timeout <= 0. then None else Some task_timeout)
+      ?breaker:(if breaker <= 0 then None else Some breaker)
+      ~socket ()
+  with
   | () -> ()
+  | exception Fleet.Serve.Journal_mismatch { path; found; expected } ->
+    Printf.eprintf
+      "serve: queue journal %s was written by a different serving \
+       configuration (journal fingerprint %s, this daemon %s) — its \
+       outcomes cannot be replayed; move the journal aside, or pass \
+       --force to ignore it and re-grade\n"
+      path found expected;
+    exit 2
   | exception Fleet.Serve.Socket_in_use path ->
     Printf.eprintf
       "serve: a daemon is already listening on %s (use `eval drain` to \
@@ -177,8 +210,8 @@ let run_serve socket workers max_queue trace_dir =
       path;
     exit 2
 
-let run_submit socket tools_filter bombs_filter budget_spec retries backoff
-    no_incremental no_ladder =
+let run_submit socket reconnect tools_filter bombs_filter budget_spec retries
+    backoff no_incremental no_ladder =
   let tools = parse_tools tools_filter in
   let bombs =
     match bombs_filter with
@@ -199,24 +232,48 @@ let run_submit socket tools_filter bombs_filter budget_spec retries backoff
       (fun bomb ->
          List.map
            (fun tool ->
-              Engines.Service.encode_request
-                ~id:(Engines.Profile.name tool ^ "/" ^ bomb)
-                ~tool ~bomb ?budget:budget_spec ~retries ~backoff
-                ~incremental:(not no_incremental) ~ladder:(not no_ladder) ())
+              let id = Engines.Profile.name tool ^ "/" ^ bomb in
+              ( id,
+                Engines.Service.encode_request ~id ~tool ~bomb
+                  ?budget:budget_spec ~retries ~backoff
+                  ~incremental:(not no_incremental) ~ladder:(not no_ladder)
+                  () ))
            tools)
       bombs
   in
-  match
-    Engines.Service.submit ~socket ~on_line:print_endline requests
-  with
-  | failures -> if failures > 0 then exit 1
-  | exception Unix.Unix_error (e, _, _) ->
-    Printf.eprintf "submit: cannot reach daemon on %s: %s\n" socket
-      (Unix.error_message e);
-    exit 2
-  | exception End_of_file ->
-    Printf.eprintf "submit: daemon on %s hung up mid-stream\n" socket;
-    exit 2
+  if reconnect then begin
+    (* resilient path: reconnect across daemon restarts, resubmitting
+       under the same idempotency keys so the durable queue dedupes *)
+    let r =
+      Engines.Service.submit_resilient ~socket ~on_line:print_endline
+        requests
+    in
+    if r.Engines.Service.sr_unanswered > 0 then begin
+      Printf.eprintf
+        "submit: %d request(s) unanswered after %d session(s) — daemon \
+         on %s unreachable or restarting too slowly\n"
+        r.Engines.Service.sr_unanswered r.Engines.Service.sr_sessions socket;
+      exit 2
+    end;
+    if r.Engines.Service.sr_failed > 0 then exit 1
+  end
+  else
+    match
+      Engines.Service.submit ~socket ~on_line:print_endline
+        (List.map snd requests)
+    with
+    | failures -> if failures > 0 then exit 1
+    | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "submit: cannot reach daemon on %s: %s\n" socket
+        (Unix.error_message e);
+      exit 2
+    | exception Sys_error msg ->
+      Printf.eprintf "submit: connection to daemon on %s failed: %s\n" socket
+        msg;
+      exit 2
+    | exception End_of_file ->
+      Printf.eprintf "submit: daemon on %s hung up mid-stream\n" socket;
+      exit 2
 
 let run_health socket =
   match Engines.Service.health ~socket () with
@@ -249,6 +306,10 @@ let run_drain socket =
   | exception Unix.Unix_error (e, _, _) ->
     Printf.eprintf "drain: cannot reach daemon on %s: %s\n" socket
       (Unix.error_message e);
+    exit 2
+  | exception Sys_error msg ->
+    Printf.eprintf "drain: connection to daemon on %s failed: %s\n" socket
+      msg;
     exit 2
   | exception End_of_file ->
     Printf.eprintf "drain: daemon on %s hung up mid-stream\n" socket;
@@ -291,7 +352,8 @@ let run_table1 () = print_string (Engines.Eval.render_table1 ())
 (* chaos: seeded fault-injection soak over supervised cells.  The
    seed comes from --seed, else ROBUST_CHAOS_SEED, else a fixed
    default so bare runs are reproducible *)
-let run_chaos no_incremental seed plans tools_filter bombs_filter verbose =
+let run_chaos no_incremental seed plans serve rate tools_filter bombs_filter
+    verbose =
   let seed =
     match seed with
     | Some s -> s
@@ -315,6 +377,20 @@ let run_chaos no_incremental seed plans tools_filter bombs_filter verbose =
     | [] -> Engines.Supervisor.default_soak_bombs
     | names -> names
   in
+  if serve then begin
+    (* service-plane soak: live daemon under seeded IPC chaos plus a
+       mid-stream SIGKILL + warm restart; exactly-once grading and a
+       byte-identical merged journal are the containment gate *)
+    let report =
+      Engines.Serve_soak.run ~plans ~seed ~rate ~tools ~bombs ()
+    in
+    print_string (Engines.Serve_soak.render report);
+    if not (Engines.Serve_soak.ok report) then begin
+      Printf.eprintf "chaos: serve soak containment FAILED\n";
+      exit 1
+    end;
+    exit 0
+  end;
   if verbose then
     List.iter
       (fun i ->
@@ -587,6 +663,13 @@ let table2_cmd =
           $ profile_out_arg $ fleet_trace_arg $ progress_arg
           $ metrics_out_arg)
 
+let force_arg =
+  Arg.(value & flag
+       & info [ "force" ]
+         ~doc:
+           "Proceed despite a journal fingerprint mismatch: ignore the \
+            incompatible journal's records and re-grade from scratch")
+
 let resume_cmd =
   Cmd.v
     (Cmd.info "resume"
@@ -594,11 +677,12 @@ let resume_cmd =
          "Continue a partially-journaled Table II run after a crash: \
           replay every journaled cell, execute only the missing ones \
           (requires --journal, with the same flags as the interrupted \
-          run so the fingerprints match)")
-    Term.(const run_resume $ no_incremental_arg $ no_ladder_arg $ budget_arg
-          $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg $ journal_arg
-          $ trace_dir_arg $ workers_arg $ profile_out_arg $ fleet_trace_arg
-          $ progress_arg $ metrics_out_arg)
+          run so the fingerprints match; a mismatch is refused unless \
+          --force)")
+    Term.(const run_resume $ force_arg $ no_incremental_arg $ no_ladder_arg
+          $ budget_arg $ retries_arg $ backoff_arg $ tools_arg $ bombs_arg
+          $ journal_arg $ trace_dir_arg $ workers_arg $ profile_out_arg
+          $ fleet_trace_arg $ progress_arg $ metrics_out_arg)
 
 let socket_arg =
   Arg.(value & opt string "eval.sock"
@@ -618,6 +702,33 @@ let serve_cmd =
              "Backpressure: reject submissions once $(docv) requests \
               are queued (not yet running)")
   in
+  let queue_journal_arg =
+    Arg.(value & opt (some string) None
+         & info [ "queue-journal" ] ~docv:"PATH"
+           ~doc:
+             "Durable request queue: journal every accepted request \
+              (keyed by its idempotency fingerprint) before \
+              acknowledging it and every graded outcome before \
+              streaming it, so a daemon restarted after a crash \
+              re-dispatches in-flight requests and answers \
+              resubmissions from the journal — exactly-once grading \
+              across crashes")
+  in
+  let task_timeout_arg =
+    Arg.(value & opt float 60.
+         & info [ "task-timeout" ] ~docv:"SECONDS"
+           ~doc:
+             "Per-cell wall watchdog: a worker silent this long on one \
+              cell is killed and the cell re-dispatched (0 disables)")
+  in
+  let breaker_arg =
+    Arg.(value & opt int 5
+         & info [ "breaker" ] ~docv:"N"
+           ~doc:
+             "Circuit breaker: quarantine a worker slot after $(docv) \
+              consecutive deaths instead of respawning it forever \
+              (0 disables)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -629,9 +740,20 @@ let serve_cmd =
           live or stale socket. Runs until `eval drain` (or SIGINT), \
           which finishes the queue and removes the socket.")
     Term.(const run_serve $ socket_arg $ serve_workers_arg $ max_queue_arg
+          $ queue_journal_arg $ force_arg $ task_timeout_arg $ breaker_arg
           $ trace_dir_arg)
 
 let submit_cmd =
+  let reconnect_arg =
+    Arg.(value & flag
+         & info [ "reconnect" ]
+           ~doc:
+             "Survive daemon restarts: reconnect with backoff on \
+              connection refusal or mid-stream hangup and resubmit \
+              unanswered requests under the same idempotency keys (a \
+              daemon with --queue-journal answers repeats from its \
+              journal instead of re-grading)")
+  in
   Cmd.v
     (Cmd.info "submit"
        ~doc:
@@ -639,8 +761,9 @@ let submit_cmd =
           request per --tool x --bomb combination; defaults to the \
           full grid) and stream the graded outcome lines as they \
           complete. Exits 1 if any cell fails.")
-    Term.(const run_submit $ socket_arg $ tools_arg $ bombs_arg $ budget_arg
-          $ retries_arg $ backoff_arg $ no_incremental_arg $ no_ladder_arg)
+    Term.(const run_submit $ socket_arg $ reconnect_arg $ tools_arg
+          $ bombs_arg $ budget_arg $ retries_arg $ backoff_arg
+          $ no_incremental_arg $ no_ladder_arg)
 
 let drain_cmd =
   Cmd.v
@@ -711,14 +834,37 @@ let chaos_cmd =
     Arg.(value & flag
          & info [ "v"; "verbose" ] ~doc:"Print every derived fault plan")
   in
+  let serve_arg =
+    Arg.(value & flag
+         & info [ "serve" ]
+           ~doc:
+             "Soak the service plane instead of single cells: run a \
+              live `eval serve` daemon under seeded IPC fault \
+              injection (corrupted/dropped/delayed frames, wedged \
+              workers, client resets), SIGKILL it mid-stream, \
+              warm-restart it from its durable queue journal and \
+              resubmit everything; fails unless every request is \
+              graded exactly once and the merged outcome journal is \
+              byte-identical to a fault-free baseline")
+  in
+  let rate_arg =
+    Arg.(value & opt float 0.05
+         & info [ "rate" ] ~docv:"P"
+           ~doc:
+             "With --serve: per-opportunity IPC fault probability for \
+              each armed fault class")
+  in
   Cmd.v
     (Cmd.info "chaos"
        ~doc:
          "Seeded fault-injection soak: run supervised cells under \
           deterministically derived fault plans and verify every \
-          injected fault is contained to its cell (exit 1 otherwise)")
+          injected fault is contained to its cell (exit 1 otherwise). \
+          With --serve, soak the whole service plane — daemon, durable \
+          queue, IPC, client — under seeded faults and a mid-stream \
+          daemon kill.")
     Term.(const run_chaos $ no_incremental_arg $ seed_arg $ plans_arg
-          $ tools_arg $ bombs_arg $ verbose_arg)
+          $ serve_arg $ rate_arg $ tools_arg $ bombs_arg $ verbose_arg)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")

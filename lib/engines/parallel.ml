@@ -194,7 +194,7 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
       (fun key ->
          if not (Hashtbl.mem replayable key) then begin
            incr submitted;
-           Fleet.Pool.submit pool ~key ~task:key
+           Fleet.Pool.submit pool ~key ~task:key ()
          end)
       order;
     let last_tick = ref 0. in
@@ -213,9 +213,10 @@ let run_table2 ?incremental ?ladder ?policy ?(tools = Profile.all)
           let lanes =
             String.concat " "
               (List.map
-                 (fun (slot, alive, task) ->
+                 (fun (slot, alive, quarantined, task) ->
                     Printf.sprintf "w%d:%s" slot
-                      (if not alive then "dead"
+                      (if quarantined then "quar"
+                       else if not alive then "dead"
                        else Option.value ~default:"-" task))
                  (Fleet.Pool.worker_states pool))
           in

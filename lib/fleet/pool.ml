@@ -39,6 +39,10 @@ let m_redispatched = Telemetry.Metrics.counter "fleet.redispatched"
 let m_failed = Telemetry.Metrics.counter "fleet.tasks_failed"
 let m_cancelled = Telemetry.Metrics.counter "fleet.tasks_cancelled"
 let m_timeouts = Telemetry.Metrics.counter "fleet.watchdog_kills"
+let m_nacked = Telemetry.Metrics.counter "fleet.frames_nacked"
+let m_bad_frames = Telemetry.Metrics.counter "fleet.frames_corrupt"
+let m_expired = Telemetry.Metrics.counter "fleet.tasks_expired"
+let m_quarantined = Telemetry.Metrics.counter "fleet.slots_quarantined"
 
 (* ------------------------------------------------------------------ *)
 (* Types                                                               *)
@@ -73,21 +77,36 @@ type config = {
           with span tracing enabled and append finished spans to
           [<base>.spans.w<slot>.jsonl] after every task
           (see {!Spans}) *)
+  breaker : int option;
+      (** circuit breaker: a slot whose worker dies this many times in
+          a row (without one verified reply in between) is quarantined
+          — no further respawns — instead of burning respawn cycles on
+          a poisoned environment forever *)
+  chaos : Robust.Chaos.fleet_state option;
+      (** seeded IPC fault injection (master side): corrupt dispatch
+          and reply frames, drop or delay replies, wedge workers past
+          the watchdog.  [None] (the default) costs nothing. *)
 }
 
 let default_config =
   { workers = 2; respawns = 1; task_timeout = None; journal = None;
-    at_fork = None; snapshots = false; spans = None }
+    at_fork = None; snapshots = false; spans = None; breaker = None;
+    chaos = None }
 
 type failure =
   | Worker_lost of int  (** workers died running it; the attempt count *)
   | Run_raised of string  (** the runner raised (worker survived) *)
   | Cancelled  (** still queued when the pool was cancelled *)
+  | Expired  (** its deadline passed while it sat in the queue *)
+  | Quarantined
+      (** every worker slot is circuit-broken; the task can never run *)
 
 let failure_to_string = function
   | Worker_lost n -> Printf.sprintf "worker lost (%d attempts)" n
   | Run_raised msg -> "runner raised: " ^ msg
   | Cancelled -> "cancelled"
+  | Expired -> "deadline expired before execution"
+  | Quarantined -> "all worker slots quarantined"
 
 type result = {
   r_key : string;
@@ -101,6 +120,7 @@ type job = {
   j_key : string;
   j_task : string;
   j_submitted : float;
+  j_deadline : float option;  (** absolute; checked at dispatch time *)
   mutable j_attempt : int;
 }
 
@@ -121,6 +141,11 @@ type worker = {
   mutable w_dead_snap : Telemetry.Snapshot.t;
       (** accumulated last snapshots of this slot's dead incarnations
           — what survives a SIGKILL *)
+  mutable deaths : int;
+      (** consecutive deaths without a verified reply in between —
+          the circuit breaker's streak counter, deliberately carried
+          across respawns *)
+  mutable quarantined : bool;  (** circuit-broken: never respawned *)
 }
 
 type t = {
@@ -232,44 +257,61 @@ let worker_loop ~(cfg : config) ~slot ~run rd wr : 'a =
     | exception End_of_file -> quit 0
     | "Q" -> quit 0
     | line -> (
-        (* "T <id> <attempt> <key>\t<task>" *)
+        (* "T <id> <attempt> <stall_ms> <chk> <key>\t<task>" where
+           [chk] is the FNV-1a checksum of "<key>\t<task>" — a frame
+           damaged in transit is detected here and nacked instead of
+           silently running (or grading) garbage *)
         match String.split_on_char ' ' line with
-        | "T" :: id :: attempt :: rest ->
+        | "T" :: id :: attempt :: stall :: chk :: rest ->
             let id = int_of_string id and attempt = int_of_string attempt in
+            let stall_ms = int_of_string stall in
             let body = String.concat " " rest in
-            let key, task =
-              match String.index_opt body '\t' with
-              | Some i ->
-                  ( String.sub body 0 i,
-                    String.sub body (i + 1) (String.length body - i - 1) )
-              | None -> (body, body)
-            in
-            (match run ~attempt ~key task with
-             | payload ->
-                 check_frame "payload" payload;
-                 (match journal_writer () with
-                  | Some w -> Robust.Journal.append w ~key ~payload
-                  | None -> ());
-                 (* per-task observability flush, *before* the reply:
-                    spans to this slot's shard, registry delta on the
-                    pipe — so by the time the master routes this
-                    result, the task's counters are already folded in
-                    (a client seeing "done" can trust [metrics]), and
-                    a later SIGKILL loses at most the killed task's
-                    own work *)
-                 flush_spans ();
-                 send_snapshot ();
-                 send "D %d %s" id payload
-             | exception e ->
-                 let msg =
-                   String.map
-                     (fun c -> if c = '\n' then ' ' else c)
-                     (Printexc.to_string e)
-                 in
-                 flush_spans ();
-                 send_snapshot ();
-                 send "X %d %s" id msg);
-            loop ()
+            if not (String.equal chk (Robust.Journal.fnv64_hex body)) then begin
+              (* damaged dispatch frame: refuse it by id; the master
+                 re-sends without charging the task an attempt *)
+              send "N %d" id;
+              loop ()
+            end
+            else begin
+              (* chaos stall directive: wedge here, before running, so
+                 the master's wall watchdog sees a hung worker *)
+              if stall_ms > 0 then
+                ignore (Unix.select [] [] [] (float_of_int stall_ms /. 1e3));
+              let key, task =
+                match String.index_opt body '\t' with
+                | Some i ->
+                    ( String.sub body 0 i,
+                      String.sub body (i + 1) (String.length body - i - 1) )
+                | None -> (body, body)
+              in
+              (match run ~attempt ~key task with
+               | payload ->
+                   check_frame "payload" payload;
+                   (match journal_writer () with
+                    | Some w -> Robust.Journal.append w ~key ~payload
+                    | None -> ());
+                   (* per-task observability flush, *before* the reply:
+                      spans to this slot's shard, registry delta on the
+                      pipe — so by the time the master routes this
+                      result, the task's counters are already folded in
+                      (a client seeing "done" can trust [metrics]), and
+                      a later SIGKILL loses at most the killed task's
+                      own work *)
+                   flush_spans ();
+                   send_snapshot ();
+                   send "D %d %s %s" id (Robust.Journal.fnv64_hex payload)
+                     payload
+               | exception e ->
+                   let msg =
+                     String.map
+                       (fun c -> if c = '\n' then ' ' else c)
+                       (Printexc.to_string e)
+                   in
+                   flush_spans ();
+                   send_snapshot ();
+                   send "X %d %s %s" id (Robust.Journal.fnv64_hex msg) msg);
+              loop ()
+            end
         | _ -> quit 3 (* protocol violation: die loudly *))
   in
   (* whatever happens — a broken pipe racing the master's shutdown, a
@@ -354,7 +396,8 @@ let create ?(config = default_config) run : t =
             { slot; pid = -1; to_w = Unix.stdin; from_w = Unix.stdin;
               rbuf = Buffer.create 256; state = Idle; w_alive = false;
               last_seen = 0.; w_snap = Telemetry.Snapshot.empty;
-              w_dead_snap = Telemetry.Snapshot.empty });
+              w_dead_snap = Telemetry.Snapshot.empty; deaths = 0;
+              quarantined = false });
       queue = Queue.create ();
       inflight = 0;
       next_id = 0;
@@ -369,13 +412,13 @@ let create ?(config = default_config) run : t =
   done;
   t
 
-let submit (t : t) ~key ~task =
+let submit (t : t) ?deadline ~key ~task () =
   if t.closed then invalid_arg "Fleet.Pool.submit: pool is closed";
   check_key key;
   check_frame "task" task;
   let j =
     { j_id = t.next_id; j_key = key; j_task = task; j_submitted = now ();
-      j_attempt = 1 }
+      j_deadline = deadline; j_attempt = 1 }
   in
   t.next_id <- t.next_id + 1;
   Queue.push j t.queue
@@ -402,9 +445,11 @@ let complete (t : t) (j : job) payload =
     t.done_q
 
 (* a worker died (EOF / watchdog kill): reap it, settle or re-dispatch
-   its in-flight task, and refill the slot *)
+   its in-flight task, and refill the slot — unless its death streak
+   trips the circuit breaker, in which case the slot is quarantined *)
 let bury (t : t) (w : worker) ~respawn =
   Telemetry.Metrics.incr m_deaths;
+  w.deaths <- w.deaths + 1;
   w.w_alive <- false;
   (* keep what the dead incarnation last reported: its snapshot lines
      are cumulative-since-fork, so the latest one is its whole story *)
@@ -437,17 +482,78 @@ let bury (t : t) (w : worker) ~respawn =
          Queue.push j t.queue
        end);
   w.state <- Idle;
-  if respawn && not t.closed then begin
+  if (match t.cfg.breaker with
+      | Some k -> w.deaths >= k
+      | None -> false)
+  then begin
+    if not w.quarantined then begin
+      w.quarantined <- true;
+      Telemetry.Metrics.incr m_quarantined;
+      Telemetry.Log.warnf
+        "fleet: slot %d died %d time(s) in a row; quarantined (no respawn)"
+        w.slot w.deaths
+    end
+  end
+  else if respawn && not t.closed then begin
     Telemetry.Metrics.incr m_respawns;
     spawn t w.slot
   end
+
+(* ---- chaos: frame corruption at the pipe boundary ---- *)
+
+(* flip one byte — never a framing byte ('\t'/'\n') — to something
+   visibly wrong; the checksum machinery must catch it *)
+let corrupt_at line i =
+  let b = Bytes.of_string line in
+  let i =
+    if i < Bytes.length b && Bytes.get b i <> '\t' && Bytes.get b i <> '\n'
+    then i
+    else i - 1
+  in
+  Bytes.set b i (if Bytes.get b i = '#' then '!' else '#');
+  Bytes.unsafe_to_string b
+
+(* dispatch frames: corrupt the "<key>\t<task>" body region, which is
+   the trailing [body_len + 1] bytes of the line (incl. '\n') *)
+let corrupt_dispatch_frame ~body_len line =
+  corrupt_at line (String.length line - 1 - body_len + (body_len / 2))
+
+(* reply frames ("D <id> <chk> <payload>"): corrupt past the third
+   space, i.e. in the payload *)
+let corrupt_reply_frame line =
+  let n = String.length line in
+  let sp = ref 0 and i = ref 0 in
+  while !sp < 3 && !i < n do
+    if line.[!i] = ' ' then incr sp;
+    incr i
+  done;
+  if !i >= n then line else corrupt_at line (!i + ((n - !i) / 2))
 
 let dispatch_one (t : t) (w : worker) (j : job) =
   w.state <- Busy (j, now ());
   t.inflight <- t.inflight + 1;
   Telemetry.Metrics.incr m_dispatched;
+  (* chaos: a stall directive makes the worker wedge well past the
+     wall watchdog before touching the task — only meaningful when a
+     watchdog exists to catch it *)
+  let stall_ms =
+    match (t.cfg.chaos, t.cfg.task_timeout) with
+    | Some st, Some limit
+      when Robust.Chaos.fleet_fires st Robust.Chaos.Worker_stall ->
+        int_of_float (limit *. 2500.)
+    | _ -> 0
+  in
+  let body = j.j_key ^ "\t" ^ j.j_task in
   let line =
-    Printf.sprintf "T %d %d %s\t%s\n" j.j_id j.j_attempt j.j_key j.j_task
+    Printf.sprintf "T %d %d %d %s %s\n" j.j_id j.j_attempt stall_ms
+      (Robust.Journal.fnv64_hex body) body
+  in
+  let line =
+    match t.cfg.chaos with
+    | Some st when Robust.Chaos.fleet_fires st Robust.Chaos.Corrupt_dispatch
+      ->
+        corrupt_dispatch_frame ~body_len:(String.length body) line
+    | _ -> line
   in
   match write_all w.to_w line with
   | () -> ()
@@ -459,13 +565,51 @@ let dispatch_one (t : t) (w : worker) (j : job) =
       Queue.push j t.queue;
       bury t w ~respawn:true
 
+(* next runnable job, settling queue-expired ones along the way *)
+let rec take_job (t : t) =
+  match Queue.take_opt t.queue with
+  | None -> None
+  | Some j -> (
+      match j.j_deadline with
+      | Some d when now () > d ->
+          Telemetry.Metrics.incr m_expired;
+          Telemetry.Log.warnf
+            "fleet: task %s expired in queue before dispatch" j.j_key;
+          complete t j (Error Expired);
+          take_job t
+      | _ -> Some j)
+
 let dispatch (t : t) =
   Array.iter
     (fun w ->
-       if w.w_alive && w.state = Idle && not t.pool_cancelled
-          && not (Queue.is_empty t.queue)
-       then dispatch_one t w (Queue.pop t.queue))
-    t.ws
+       if w.w_alive && w.state = Idle && not t.pool_cancelled then
+         match take_job t with
+         | Some j -> dispatch_one t w j
+         | None -> ())
+    t.ws;
+  (* circuit-broken pool: every slot quarantined with work still
+     queued — it can never run, so fail it now rather than spinning *)
+  if not t.closed && t.inflight = 0
+     && not (Queue.is_empty t.queue)
+     && Array.for_all (fun w -> (not w.w_alive) && w.quarantined) t.ws
+  then
+    while not (Queue.is_empty t.queue) do
+      let j = Queue.pop t.queue in
+      Telemetry.Metrics.incr m_failed;
+      complete t j (Error Quarantined)
+    done
+
+(* a reply frame that failed its checksum (or is unparseable while a
+   task is in flight): the channel can no longer be trusted — kill the
+   incarnation and let [bury] re-dispatch its task *)
+let recover_corrupt_channel (t : t) (w : worker) line =
+  Telemetry.Metrics.incr m_bad_frames;
+  Telemetry.Log.warnf
+    "fleet: worker %d sent a corrupt frame %S; killing and re-dispatching"
+    w.slot
+    (String.sub line 0 (min 48 (String.length line)));
+  (try Unix.kill w.pid Sys.sigkill with Unix.Unix_error _ -> ());
+  bury t w ~respawn:true
 
 (* one complete line from worker [w] *)
 let handle_line (t : t) (w : worker) line =
@@ -481,31 +625,93 @@ let handle_line (t : t) (w : worker) line =
     | None ->
         Telemetry.Log.warnf
           "fleet: worker %d sent an undecodable snapshot; dropped" w.slot
-  else
-  match String.split_on_char ' ' line with
-  | "H" :: _ -> () (* hello/heartbeat *)
-  | "D" :: id :: rest | "X" :: id :: rest -> (
-      let ok = line.[0] = 'D' in
-      let id = int_of_string id in
-      let body = String.concat " " rest in
-      match w.state with
-      | Busy (j, _) when j.j_id = id ->
-          w.state <- Idle;
-          t.inflight <- t.inflight - 1;
-          if ok then begin
-            Telemetry.Metrics.incr m_completed;
-            complete t j (Ok body)
+  else begin
+    (* chaos: reply frames can be dropped (only under a watchdog that
+       will eventually recover the silence), delayed, or corrupted on
+       the way in *)
+    let is_reply =
+      String.length line >= 2
+      && (line.[0] = 'D' || line.[0] = 'X')
+      && line.[1] = ' '
+    in
+    let line =
+      match t.cfg.chaos with
+      | Some st when is_reply ->
+          if
+            t.cfg.task_timeout <> None
+            && Robust.Chaos.fleet_fires st Robust.Chaos.Drop_reply
+          then begin
+            Telemetry.Log.warnf
+              "fleet(chaos): dropped a reply frame from worker %d" w.slot;
+            None
           end
           else begin
-            Telemetry.Metrics.incr m_raised;
-            complete t j (Error (Run_raised body))
+            if Robust.Chaos.fleet_fires st Robust.Chaos.Delay_reply then
+              ignore (Unix.select [] [] [] 0.02);
+            if Robust.Chaos.fleet_fires st Robust.Chaos.Corrupt_reply then
+              Some (corrupt_reply_frame line)
+            else Some line
           end
-      | _ ->
-          Telemetry.Log.warnf
-            "fleet: worker %d answered for unexpected task %d; dropped"
-            w.slot id)
-  | _ ->
-      Telemetry.Log.warnf "fleet: worker %d sent garbage %S" w.slot line
+      | _ -> Some line
+    in
+    match line with
+    | None -> ()
+    | Some line -> (
+        match String.split_on_char ' ' line with
+        | "H" :: _ -> () (* hello/heartbeat *)
+        | "N" :: id_s :: _ -> (
+            (* the worker refused a dispatch frame that failed its
+               checksum: damage in transit, not the task's fault — put
+               it back without charging an attempt *)
+            match (int_of_string_opt id_s, w.state) with
+            | Some id, Busy (j, _) when j.j_id = id ->
+                Telemetry.Metrics.incr m_nacked;
+                Telemetry.Log.warnf
+                  "fleet: worker %d nacked a damaged dispatch frame for %s; \
+                   re-sending"
+                  w.slot j.j_key;
+                w.deaths <- 0;
+                w.state <- Idle;
+                t.inflight <- t.inflight - 1;
+                Queue.push j t.queue
+            | _ ->
+                Telemetry.Log.warnf
+                  "fleet: worker %d nacked an unexpected frame; dropped"
+                  w.slot)
+        | ("D" | "X") :: id_s :: chk :: rest -> (
+            let body = String.concat " " rest in
+            match int_of_string_opt id_s with
+            | Some id
+              when String.equal chk (Robust.Journal.fnv64_hex body) -> (
+                let ok = line.[0] = 'D' in
+                match w.state with
+                | Busy (j, _) when j.j_id = id ->
+                    (* a verified reply proves the slot healthy: reset
+                       the breaker streak *)
+                    w.deaths <- 0;
+                    w.state <- Idle;
+                    t.inflight <- t.inflight - 1;
+                    if ok then begin
+                      Telemetry.Metrics.incr m_completed;
+                      complete t j (Ok body)
+                    end
+                    else begin
+                      Telemetry.Metrics.incr m_raised;
+                      complete t j (Error (Run_raised body))
+                    end
+                | _ ->
+                    Telemetry.Log.warnf
+                      "fleet: worker %d answered for unexpected task %d; \
+                       dropped"
+                      w.slot id)
+            | _ -> recover_corrupt_channel t w line)
+        | _ -> (
+            match w.state with
+            | Busy _ -> recover_corrupt_channel t w line
+            | Idle ->
+                Telemetry.Log.warnf "fleet: worker %d sent garbage %S" w.slot
+                  line))
+  end
 
 let pump_worker (t : t) (w : worker) =
   let chunk = Bytes.create 65536 in
@@ -681,14 +887,19 @@ let worker_journal_paths ~path ~workers =
 let alive_workers (t : t) =
   Array.fold_left (fun n w -> if w.w_alive then n + 1 else n) 0 t.ws
 
-(** Per-slot status: (slot, alive, in-flight task key if busy). *)
-let worker_states (t : t) : (int * bool * string option) list =
+(** Per-slot status: (slot, alive, quarantined, in-flight task key if
+    busy). *)
+let worker_states (t : t) : (int * bool * bool * string option) list =
   Array.to_list t.ws
   |> List.map (fun w ->
       let task =
         match w.state with Busy (j, _) -> Some j.j_key | Idle -> None
       in
-      (w.slot, w.w_alive, task))
+      (w.slot, w.w_alive, w.quarantined, task))
+
+(** Circuit-broken slot count. *)
+let quarantined_workers (t : t) =
+  Array.fold_left (fun n w -> if w.quarantined then n + 1 else n) 0 t.ws
 
 (** The fleet-wide aggregate of everything workers have reported:
     every slot's live snapshot plus its dead incarnations' — the

@@ -7,9 +7,15 @@
     - [{"op":"submit","id":ID,…}] enqueues the whole request line as a
       pool task (the pool's runner owns the request schema).  Answered
       immediately with [{"id":ID,"status":"queued","pending":N}] — or
-      [{"id":ID,"status":"rejected","error":…}] when the queue is at
-      [max_queue] (backpressure) or the daemon is draining — and later
-      with the runner's own response line (which must carry the id).
+      [{"id":ID,"status":"rejected","error":…,"retry_after_s":N}] when
+      the queue is at [max_queue] (load shedding, with a backoff hint
+      sized to the current queue and completion latency) or the daemon
+      is draining — and later with the runner's own response line
+      (which must carry the id).  A request may carry
+      ["idem":KEY] (an idempotency key; defaults to a hash of the
+      whole request line) and ["deadline_s":SECS] (queue-wait budget:
+      a request still queued when it runs out is answered
+      [{"status":"expired"}] instead of executing).
     - [{"op":"ping"}] → [{"status":"ok","pending":N}] — liveness, also
       used by {!check_socket} to distinguish a live daemon from a
       stale socket file.
@@ -17,7 +23,19 @@
     - [{"op":"drain"}] → [{"status":"draining","pending":N}] now, one
       [{"status":"drained","completed":N}] when the queue is empty;
       then the daemon closes everything, unlinks the socket and
-      returns.  SIGINT/SIGTERM trigger the same cooperative drain. *)
+      returns.  SIGINT/SIGTERM trigger the same cooperative drain.
+
+    Durability — with [queue_journal] set, the daemon write-ahead
+    journals every accepted request (keyed by its idempotency key,
+    phase ["acc"], {e before} acking it) and every successful response
+    (phase ["done"], {e before} the client sees it).  A daemon killed
+    mid-stream warm-restarts from the journal: finished keys answer
+    straight from the journal on resubmission (exactly-once graded
+    outcomes per key), accepted-but-unfinished requests are re-queued
+    before the socket opens.  The journal carries the caller's
+    {!config.run_fingerprint}; reopening a journal written under a
+    different fingerprint raises {!Journal_mismatch} unless [force]d,
+    so a config change never silently replays stale outcomes. *)
 
 let m_requests = Telemetry.Metrics.counter "serve.requests"
 let m_rejected = Telemetry.Metrics.counter "serve.rejected"
@@ -25,18 +43,39 @@ let m_responses = Telemetry.Metrics.counter "serve.responses"
 let m_dropped = Telemetry.Metrics.counter "serve.dropped_responses"
 let m_clients = Telemetry.Metrics.counter "serve.clients"
 let m_latency = Telemetry.Metrics.histogram "serve.latency_us"
+let m_shed = Telemetry.Metrics.counter "serve.shed"
+let m_deduped = Telemetry.Metrics.counter "serve.deduped"
+let m_expired = Telemetry.Metrics.counter "serve.expired"
+let m_recovered = Telemetry.Metrics.counter "serve.recovered"
+let m_resets = Telemetry.Metrics.counter "serve.chaos_client_resets"
 
 (** Protocol/build identity reported by [ping] and [health]. *)
-let version = "eval-serve/1"
+let version = "eval-serve/2"
 
 type config = {
   socket : string;
   max_queue : int;  (** submit backpressure: max queued (not running) *)
   accept_backlog : int;
+  queue_journal : string option;
+      (** write-ahead request/response journal — the durable queue *)
+  run_fingerprint : string;
+      (** stable hash of the serving configuration; guards the queue
+          journal across restarts (unlike the per-instance [ping]
+          fingerprint, which changes on every start) *)
+  force : bool;
+      (** reopen a fingerprint-mismatched queue journal anyway,
+          treating its records as stale *)
+  default_deadline : float option;
+      (** queue-wait budget applied to requests that don't carry their
+          own ["deadline_s"] *)
+  chaos : Robust.Chaos.fleet_state option;
+      (** socket-side fault injection ({!Robust.Chaos.Client_reset}) *)
 }
 
 let default_config ~socket =
-  { socket; max_queue = 10_000; accept_backlog = 64 }
+  { socket; max_queue = 10_000; accept_backlog = 64; queue_journal = None;
+    run_fingerprint = "eval-serve"; force = false; default_deadline = None;
+    chaos = None }
 
 (* ------------------------------------------------------------------ *)
 (* Stale-socket detection                                              *)
@@ -48,6 +87,15 @@ exception Socket_in_use of string
 exception Stale_socket of string
     (** the path exists but nothing is listening (a previous daemon
         died without cleanup) *)
+
+exception Journal_mismatch of {
+  path : string;
+  found : string;
+  expected : string;
+}
+    (** the queue journal at [path] was written under a different run
+        fingerprint — serving from it would replay outcomes produced
+        by a different configuration *)
 
 (** Probe [path] before binding: raises {!Socket_in_use} if a daemon
     is already serving there, {!Stale_socket} if the file exists but
@@ -83,23 +131,35 @@ type state = {
   mutable clients : client list;
   (* pool task tag -> submitting client (may be dead by completion) *)
   routes : (string, client) Hashtbl.t;
+  queue_w : Robust.Journal.writer option;
+  (* idempotency key -> journaled final response, replayed verbatim *)
+  done_cache : (string, string) Hashtbl.t;
+  (* idempotency key -> pool tag, while accepted-but-unfinished *)
+  pending_idem : (string, string) Hashtbl.t;
+  tag_idem : (string, string) Hashtbl.t;  (** pool tag -> idem key *)
   mutable next_tag : int;
   mutable draining : bool;
   mutable completed : int;
+  mutable shed : int;
+  mutable deduped : int;
+  mutable expired : int;
+  mutable recovered : int;
   started : float;  (** daemon start, for uptime *)
   fingerprint : string;  (** unique per daemon instance *)
 }
 
 let esc = Robust.Journal.json_escape
 
+let drop_client st (c : client) =
+  c.c_alive <- false;
+  st.clients <- List.filter (fun x -> x != c) st.clients;
+  (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+
 let send_line st (c : client) line =
   if c.c_alive then begin
     match Pool.write_all c.c_fd (line ^ "\n") with
     | () -> Telemetry.Metrics.incr m_responses
-    | exception Unix.Unix_error _ ->
-        c.c_alive <- false;
-        st.clients <- List.filter (fun x -> x != c) st.clients;
-        (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error _ -> drop_client st c
   end
   else Telemetry.Metrics.incr m_dropped
 
@@ -114,9 +174,10 @@ let reject st c ~id msg =
 let workers_json st =
   String.concat ","
     (List.map
-       (fun (slot, alive, task) ->
-          Printf.sprintf "{\"slot\":%d,\"alive\":%b,\"inflight\":%d%s}"
-            slot alive
+       (fun (slot, alive, quarantined, task) ->
+          Printf.sprintf
+            "{\"slot\":%d,\"alive\":%b,\"quarantined\":%b,\"inflight\":%d%s}"
+            slot alive quarantined
             (if task = None then 0 else 1)
             (match task with
              | Some k -> Printf.sprintf ",\"task\":\"%s\"" (esc k)
@@ -125,6 +186,51 @@ let workers_json st =
 
 let latency_ms q =
   float_of_int (Telemetry.Metrics.quantile m_latency q) /. 1e3
+
+(* shedding backoff hint: how long the current queue would take to
+   clear at the observed median completion latency *)
+let retry_after_s st =
+  let p50_us = Telemetry.Metrics.quantile m_latency 0.50 in
+  let per_task = if p50_us <= 0 then 1.0 else float_of_int p50_us /. 1e6 in
+  let workers = max 1 (Pool.alive_workers st.pool) in
+  max 1
+    (int_of_float
+       (ceil (float_of_int (Pool.pending st.pool) *. per_task
+              /. float_of_int workers)))
+
+let status_of_payload line =
+  let open Telemetry.Trace_check in
+  match Option.bind (parse_opt line) (member "status") with
+  | Some (Str s) -> Some s
+  | _ -> None
+
+(* the durable accept path, shared by live submits and warm-restart
+   recovery (which must NOT re-journal its already-journaled records) *)
+let enqueue st ?route ~journal ~idem line =
+  let deadline =
+    let open Telemetry.Trace_check in
+    let explicit =
+      match Option.bind (parse_opt line) (member "deadline_s") with
+      | Some (Num f) when f > 0. -> Some f
+      | _ -> None
+    in
+    match (explicit, st.cfg.default_deadline) with
+    | Some f, _ | None, Some f -> Some (Unix.gettimeofday () +. f)
+    | None, None -> None
+  in
+  if journal then
+    (match st.queue_w with
+     | Some w ->
+         Robust.Journal.append w ~key:idem
+           ~payload:
+             (Printf.sprintf "{\"phase\":\"acc\",\"req\":\"%s\"}" (esc line))
+     | None -> ());
+  let tag = Printf.sprintf "r%d" st.next_tag in
+  st.next_tag <- st.next_tag + 1;
+  (match route with Some c -> Hashtbl.replace st.routes tag c | None -> ());
+  Hashtbl.replace st.pending_idem idem tag;
+  Hashtbl.replace st.tag_idem tag idem;
+  Pool.submit st.pool ?deadline ~key:tag ~task:line ()
 
 let handle_request st (c : client) line =
   Telemetry.Metrics.incr m_requests;
@@ -148,22 +254,32 @@ let handle_request st (c : client) line =
             (Printf.sprintf
                "{\"status\":\"ok\",\"queued\":%d,\"inflight\":%d,\
                 \"completed\":%d,\"clients\":%d,\"draining\":%b,\
-                \"workers\":[%s]}"
+                \"shed\":%d,\"deduped\":%d,\"expired\":%d,\
+                \"recovered\":%d,\"workers\":[%s]}"
                (Pool.queued st.pool) (Pool.inflight st.pool) st.completed
-               (List.length st.clients) st.draining (workers_json st))
+               (List.length st.clients) st.draining st.shed st.deduped
+               st.expired st.recovered (workers_json st))
       | Some (Str "health") ->
           send_line st c
             (Printf.sprintf
                "{\"status\":\"ok\",\"version\":\"%s\",\
-                \"fingerprint\":\"%s\",\"uptime_s\":%.1f,\
-                \"workers\":%d,\"workers_alive\":%d,\"queued\":%d,\
+                \"fingerprint\":\"%s\",\"run_fingerprint\":\"%s\",\
+                \"uptime_s\":%.1f,\
+                \"workers\":%d,\"workers_alive\":%d,\"quarantined\":%d,\
+                \"queued\":%d,\
                 \"inflight\":%d,\"completed\":%d,\"draining\":%b,\
+                \"durable\":%b,\"shed\":%d,\"deduped\":%d,\"expired\":%d,\
+                \"recovered\":%d,\
                 \"latency_ms\":{\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f}}"
                (esc version) (esc st.fingerprint)
+               (esc st.cfg.run_fingerprint)
                (Unix.gettimeofday () -. st.started)
                (List.length (Pool.worker_states st.pool))
-               (Pool.alive_workers st.pool) (Pool.queued st.pool)
+               (Pool.alive_workers st.pool)
+               (Pool.quarantined_workers st.pool) (Pool.queued st.pool)
                (Pool.inflight st.pool) st.completed st.draining
+               (st.queue_w <> None) st.shed st.deduped st.expired
+               st.recovered
                (latency_ms 0.50) (latency_ms 0.95) (latency_ms 0.99))
       | Some (Str "metrics") ->
           (* daemon registry + everything the workers have reported *)
@@ -193,24 +309,62 @@ let handle_request st (c : client) line =
           send_line st c
             (Printf.sprintf "{\"status\":\"draining\",\"pending\":%d}"
                (Pool.pending st.pool))
-      | Some (Str "submit") ->
-          if st.draining then reject st c ~id "daemon is draining"
-          else if Pool.queued st.pool >= st.cfg.max_queue then
-            reject st c ~id
-              (Printf.sprintf "queue full (max %d)" st.cfg.max_queue)
-          else begin
-            let tag = Printf.sprintf "r%d" st.next_tag in
-            st.next_tag <- st.next_tag + 1;
-            Hashtbl.replace st.routes tag c;
-            Pool.submit st.pool ~key:tag ~task:line;
-            send_line st c
-              (Printf.sprintf
-                 "{\"id\":%s,\"status\":\"queued\",\"pending\":%d}"
-                 (match id with
-                  | Some i -> "\"" ^ esc i ^ "\""
-                  | None -> "null")
-                 (Pool.pending st.pool))
-          end
+      | Some (Str "submit") -> (
+          let idem =
+            match member "idem" j with
+            | Some (Str s) -> s
+            | _ -> Robust.Journal.fnv64_hex line
+          in
+          match Hashtbl.find_opt st.done_cache idem with
+          | Some resp ->
+              (* resubmission of a finished key: replay the journaled
+                 response verbatim — the cell is never graded twice *)
+              st.deduped <- st.deduped + 1;
+              Telemetry.Metrics.incr m_deduped;
+              send_line st c resp
+          | None -> (
+              match Hashtbl.find_opt st.pending_idem idem with
+              | Some tag ->
+                  (* already accepted (possibly before a crash, or by a
+                     connection that died): re-route the eventual
+                     response to this client *)
+                  st.deduped <- st.deduped + 1;
+                  Telemetry.Metrics.incr m_deduped;
+                  Hashtbl.replace st.routes tag c;
+                  send_line st c
+                    (Printf.sprintf
+                       "{\"id\":%s,\"status\":\"queued\",\"pending\":%d}"
+                       (match id with
+                        | Some i -> "\"" ^ esc i ^ "\""
+                        | None -> "null")
+                       (Pool.pending st.pool))
+              | None ->
+                  if st.draining then reject st c ~id "daemon is draining"
+                  else if Pool.queued st.pool >= st.cfg.max_queue then begin
+                    (* load shedding, with a backoff hint *)
+                    st.shed <- st.shed + 1;
+                    Telemetry.Metrics.incr m_shed;
+                    Telemetry.Metrics.incr m_rejected;
+                    send_line st c
+                      (Printf.sprintf
+                         "{\"id\":%s,\"status\":\"rejected\",\
+                          \"error\":\"queue full (max %d)\",\
+                          \"retry_after_s\":%d}"
+                         (match id with
+                          | Some i -> "\"" ^ esc i ^ "\""
+                          | None -> "null")
+                         st.cfg.max_queue (retry_after_s st))
+                  end
+                  else begin
+                    enqueue st ~route:c ~journal:true ~idem line;
+                    send_line st c
+                      (Printf.sprintf
+                         "{\"id\":%s,\"status\":\"queued\",\"pending\":%d}"
+                         (match id with
+                          | Some i -> "\"" ^ esc i ^ "\""
+                          | None -> "null")
+                         (Pool.pending st.pool))
+                  end))
       | _ ->
           reject st c ~id
             "unknown op (submit, ping, stats, health, metrics, drain)")
@@ -219,24 +373,67 @@ let route_result st (r : Pool.result) =
   st.completed <- st.completed + 1;
   Telemetry.Metrics.observe m_latency
     (int_of_float ((r.r_done -. r.r_submitted) *. 1e6));
+  let idem = Hashtbl.find_opt st.tag_idem r.r_key in
+  Hashtbl.remove st.tag_idem r.r_key;
+  (match idem with Some i -> Hashtbl.remove st.pending_idem i | None -> ());
+  let id_json =
+    match idem with Some i -> "\"" ^ esc i ^ "\"" | None -> "null"
+  in
+  let reply, final =
+    match r.r_payload with
+    | Ok payload ->
+        (* runner-reported errors ("status":"error") are transient from
+           the queue's point of view: not journaled, so a resubmission
+           retries instead of replaying the failure forever *)
+        (payload, status_of_payload payload <> Some "error")
+    | Error Pool.Expired ->
+        st.expired <- st.expired + 1;
+        Telemetry.Metrics.incr m_expired;
+        ( Printf.sprintf
+            "{\"id\":%s,\"status\":\"expired\",\
+             \"error\":\"deadline exceeded before execution\"}"
+            id_json,
+          false )
+    | Error f ->
+        ( Printf.sprintf "{\"id\":%s,\"status\":\"error\",\"error\":\"%s\"}"
+            id_json
+            (esc (Pool.failure_to_string f)),
+          false )
+  in
+  (* exactly-once: journal the graded outcome under its idempotency
+     key *before* any client can observe it *)
+  (match (final, idem) with
+   | true, Some i ->
+       (match st.queue_w with
+        | Some w ->
+            Robust.Journal.append w ~key:i
+              ~payload:
+                (Printf.sprintf "{\"phase\":\"done\",\"resp\":\"%s\"}"
+                   (esc reply))
+        | None -> ());
+       Hashtbl.replace st.done_cache i reply
+   | _ -> ());
   match Hashtbl.find_opt st.routes r.r_key with
   | None -> Telemetry.Metrics.incr m_dropped
-  | Some c ->
+  | Some c -> (
       Hashtbl.remove st.routes r.r_key;
-      (match r.r_payload with
-       | Ok payload -> send_line st c payload
-       | Error f ->
-           send_line st c
-             (Printf.sprintf "{\"status\":\"error\",\"error\":\"%s\"}"
-                (esc (Pool.failure_to_string f))))
+      (* chaos: reset the client's connection instead of replying —
+         the outcome is already journaled, so the client's reconnect
+         and resubmit must be answered from the journal *)
+      match st.cfg.chaos with
+      | Some cst
+        when c.c_alive
+             && Robust.Chaos.fleet_fires cst Robust.Chaos.Client_reset ->
+          Telemetry.Metrics.incr m_resets;
+          Telemetry.Log.warnf
+            "serve(chaos): reset a client connection before replying";
+          drop_client st c
+      | _ -> send_line st c reply)
 
 let pump_client st (c : client) =
   let chunk = Bytes.create 65536 in
   match Unix.read c.c_fd chunk 0 (Bytes.length chunk) with
-  | 0 ->
-      c.c_alive <- false;
-      st.clients <- List.filter (fun x -> x != c) st.clients;
-      (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+  | 0 -> drop_client st c
   | n ->
       Buffer.add_subbytes c.c_buf chunk 0 n;
       let data = Buffer.contents c.c_buf in
@@ -255,16 +452,49 @@ let pump_client st (c : client) =
       Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
     ->
       ()
-  | exception Unix.Unix_error _ ->
-      c.c_alive <- false;
-      st.clients <- List.filter (fun x -> x != c) st.clients;
-      (try Unix.close c.c_fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> drop_client st c
+
+(* load the queue journal (refusing a fingerprint mismatch unless
+   forced) and split its last-wins records into finished responses and
+   accepted-but-unfinished request lines *)
+let load_queue_journal (cfg : config) =
+  match cfg.queue_journal with
+  | None -> (None, [], [])
+  | Some path ->
+      (match Robust.Journal.peek_fingerprint path with
+       | Some found
+         when (not (String.equal found cfg.run_fingerprint)) && not cfg.force
+         ->
+           raise
+             (Journal_mismatch
+                { path; found; expected = cfg.run_fingerprint })
+       | _ -> ());
+      let l = Robust.Journal.load ~fingerprint:cfg.run_fingerprint path in
+      let done_ = ref [] and acc = ref [] in
+      List.iter
+        (fun (e : Robust.Journal.entry) ->
+           let field name =
+             match Telemetry.Trace_check.member name e.cell with
+             | Some (Telemetry.Trace_check.Str s) -> Some s
+             | _ -> None
+           in
+           match (field "phase", field "resp", field "req") with
+           | Some "done", Some resp, _ -> done_ := (e.key, resp) :: !done_
+           | Some "acc", _, Some req -> acc := (e.key, req) :: !acc
+           | _ -> Robust.Journal.count_undecodable ())
+        l.entries;
+      let w =
+        Robust.Journal.open_writer ~fingerprint:cfg.run_fingerprint
+          ~seq:l.next_seq path
+      in
+      (Some w, List.rev !done_, List.rev !acc)
 
 (** Run the daemon until a drain request (or SIGINT/SIGTERM) empties
     the queue.  Binds [cfg.socket], refusing a live or stale existing
     socket (see {!check_socket}); unlinks it on the way out.  The pool
     is polled from the same event loop — no threads anywhere. *)
 let run (cfg : config) ~(pool : Pool.t) : unit =
+  let queue_w, done0, recovered0 = load_queue_journal cfg in
   check_socket cfg.socket;
   let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket);
@@ -272,12 +502,34 @@ let run (cfg : config) ~(pool : Pool.t) : unit =
   let started = Unix.gettimeofday () in
   let st =
     { cfg; pool; listen_fd; clients = []; routes = Hashtbl.create 64;
-      next_tag = 0; draining = false; completed = 0; started;
+      queue_w; done_cache = Hashtbl.create 64;
+      pending_idem = Hashtbl.create 64; tag_idem = Hashtbl.create 64;
+      next_tag = 0; draining = false; completed = 0; shed = 0; deduped = 0;
+      expired = 0; recovered = 0; started;
       fingerprint =
         Robust.Journal.fingerprint
           [ version; string_of_int (Unix.getpid ());
             Printf.sprintf "%.6f" started ] }
   in
+  List.iter (fun (k, resp) -> Hashtbl.replace st.done_cache k resp) done0;
+  (* warm restart: accepted-but-unfinished requests go back on the
+     queue before the socket opens; their submitters are gone, but the
+     graded outcomes will be journaled and answer resubmissions *)
+  List.iter
+    (fun (idem, req) ->
+       if not (Hashtbl.mem st.done_cache idem) then begin
+         st.recovered <- st.recovered + 1;
+         Telemetry.Metrics.incr m_recovered;
+         enqueue st ~journal:false ~idem req
+       end)
+    recovered0;
+  if st.recovered > 0 || Hashtbl.length st.done_cache > 0 then
+    Telemetry.Log.warnf
+      "serve: warm restart from %s — %d finished key(s) cached, %d \
+       unfinished request(s) re-queued"
+      (Option.value ~default:"-" cfg.queue_journal)
+      (Hashtbl.length st.done_cache)
+      st.recovered;
   (* respawned workers must not hold the daemon's sockets open *)
   Pool.set_at_fork pool (fun () ->
       (try Unix.close st.listen_fd with Unix.Unix_error _ -> ());
@@ -291,6 +543,9 @@ let run (cfg : config) ~(pool : Pool.t) : unit =
     ~finally:(fun () ->
       Sys.set_signal Sys.sigint prev_int;
       Sys.set_signal Sys.sigterm prev_term;
+      (match st.queue_w with
+       | Some w -> (try Robust.Journal.close_writer w with _ -> ())
+       | None -> ());
       List.iter
         (fun c ->
            try Unix.close c.c_fd with Unix.Unix_error _ -> ())

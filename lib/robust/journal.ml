@@ -241,11 +241,45 @@ let parse_line ~fingerprint line : parsed =
                 | None -> Damaged)
           | _ -> Damaged)
 
+(** The fingerprint of the first checksummed-valid record of [path],
+    whatever it is — [None] for a missing, empty or wholly damaged
+    file.  Lets a resuming caller distinguish "this journal belongs to
+    a different run configuration" (refuse loudly) from damage (skip
+    and re-run), instead of {!load} silently treating every record as
+    stale. *)
+let peek_fingerprint path : string option =
+  if not (Sys.file_exists path) then None
+  else begin
+    let ic = open_in_bin path in
+    let found = ref None in
+    (try
+       while !found = None do
+         let line = input_line ic in
+         if String.length line >= 18 && line.[16] = ' ' then begin
+           let sum = String.sub line 0 16 in
+           let b = String.sub line 17 (String.length line - 17) in
+           if String.equal sum (fnv64_hex b) then
+             match
+               Option.bind (Telemetry.Trace_check.parse_opt b)
+                 (Telemetry.Trace_check.member "fp")
+             with
+             | Some (Telemetry.Trace_check.Str fp) -> found := Some fp
+             | _ -> ()
+         end
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !found
+  end
+
 (** Load every record of [path] that matches [fingerprint].  A missing
     file is an empty journal.  Damaged or stale lines are skipped with
     a {!Telemetry.Log} warning and counted — in the result and in the
-    [journal.*] metrics. *)
-let load ~fingerprint path : load_result =
+    [journal.*] metrics.  [dedup:false] keeps every valid record in
+    file order instead of collapsing to last-wins per key — for
+    callers auditing the full append history (the exactly-once soak
+    check). *)
+let load ?(dedup = true) ~fingerprint path : load_result =
   if not (Sys.file_exists path) then empty_load
   else begin
     let ic = open_in_bin path in
@@ -312,16 +346,20 @@ let load ~fingerprint path : load_result =
           acc := { !acc with truncated = !acc.truncated + 1 }
     end;
     (* last-wins per key: a resumed run may have re-executed a cell *)
-    let seen = Hashtbl.create 64 in
     let entries =
-      List.filter
-        (fun e ->
-           if Hashtbl.mem seen e.key then false
-           else begin
-             Hashtbl.replace seen e.key ();
-             true
-           end)
-        !acc.entries  (* newest first *)
+      if not dedup then List.rev !acc.entries
+      else begin
+        let seen = Hashtbl.create 64 in
+        List.rev
+          (List.filter
+             (fun (e : entry) ->
+                if Hashtbl.mem seen e.key then false
+                else begin
+                  Hashtbl.replace seen e.key ();
+                  true
+                end)
+             !acc.entries (* newest first *))
+      end
     in
-    { !acc with entries = List.rev entries }
+    { !acc with entries }
   end

@@ -30,7 +30,7 @@ let pool_echo_many () =
   let n = 200 in
   for i = 0 to n - 1 do
     Fleet.Pool.submit t ~key:(Printf.sprintf "k%d" i)
-      ~task:(Printf.sprintf "t%d" i)
+      ~task:(Printf.sprintf "t%d" i) ()
   done;
   Alcotest.(check int) "all queued or running" n (Fleet.Pool.pending t);
   let results = Fleet.Pool.drain t in
@@ -55,9 +55,9 @@ let pool_runner_raise_contained () =
     Fleet.Pool.create ~config:(echo_config 2) (fun ~attempt:_ ~key ->
         fun task -> if key = "bad" then failwith "boom" else task)
   in
-  Fleet.Pool.submit t ~key:"a" ~task:"1";
-  Fleet.Pool.submit t ~key:"bad" ~task:"2";
-  Fleet.Pool.submit t ~key:"b" ~task:"3";
+  Fleet.Pool.submit t ~key:"a" ~task:"1" ();
+  Fleet.Pool.submit t ~key:"bad" ~task:"2" ();
+  Fleet.Pool.submit t ~key:"b" ~task:"3" ();
   let results = Fleet.Pool.drain t in
   Fleet.Pool.shutdown t;
   let find k =
@@ -92,8 +92,8 @@ let pool_worker_kill_redispatch () =
             Engines.Journal_codec.encode_outcome
               (Engines.Supervisor.run_cell Engines.Profile.Bap bomb))
   in
-  Fleet.Pool.submit t ~key:"die-once" ~task:"x";
-  Fleet.Pool.submit t ~key:"plain" ~task:"y";
+  Fleet.Pool.submit t ~key:"die-once" ~task:"x" ();
+  Fleet.Pool.submit t ~key:"plain" ~task:"y" ();
   let results = Fleet.Pool.drain t in
   Fleet.Pool.shutdown t;
   Alcotest.(check bool) "cell re-dispatched" true
@@ -117,8 +117,8 @@ let pool_worker_lost_after_respawns () =
     Fleet.Pool.create ~config:(echo_config 2) (fun ~attempt:_ ~key ->
         fun task -> if key = "always-dies" then Unix._exit 9 else task)
   in
-  Fleet.Pool.submit t ~key:"always-dies" ~task:"x";
-  Fleet.Pool.submit t ~key:"ok" ~task:"y";
+  Fleet.Pool.submit t ~key:"always-dies" ~task:"x" ();
+  Fleet.Pool.submit t ~key:"ok" ~task:"y" ();
   let results = Fleet.Pool.drain t in
   Fleet.Pool.shutdown t;
   let find k =
@@ -144,8 +144,8 @@ let pool_watchdog_kills_stuck () =
         fun task ->
           if key = "stuck" then (Unix.sleep 600; task) else task)
   in
-  Fleet.Pool.submit t ~key:"stuck" ~task:"x";
-  Fleet.Pool.submit t ~key:"quick" ~task:"y";
+  Fleet.Pool.submit t ~key:"stuck" ~task:"x" ();
+  Fleet.Pool.submit t ~key:"quick" ~task:"y" ();
   let t0 = Unix.gettimeofday () in
   let results = Fleet.Pool.drain t in
   let elapsed = Unix.gettimeofday () -. t0 in
@@ -169,7 +169,7 @@ let pool_cancel_fails_queued () =
         fun task -> ignore (Unix.select [] [] [] 0.2); task)
   in
   for i = 0 to 4 do
-    Fleet.Pool.submit t ~key:(Printf.sprintf "c%d" i) ~task:"t"
+    Fleet.Pool.submit t ~key:(Printf.sprintf "c%d" i) ~task:"t" ()
   done;
   (* dispatch exactly one task, then cancel the rest cooperatively *)
   ignore (Fleet.Pool.poll ~timeout:0. t);
@@ -483,6 +483,355 @@ let serve_round_trip () =
   Alcotest.(check bool) "socket removed on shutdown" false
     (Sys.file_exists socket)
 
+(* ---------------- IPC chaos (deterministic arms) ---------------- *)
+
+(* one-shot armed fault at hit #1 of [point]; the pool must absorb it
+   and still grade the task correctly *)
+let chaos_pool ?(workers = 1) ?(respawns = 2) ?task_timeout arms runner =
+  Fleet.Pool.create
+    ~config:
+      { Fleet.Pool.default_config with
+        workers; respawns; task_timeout;
+        chaos =
+          Some (Robust.Chaos.fleet_state ~seed:7L (Robust.Chaos.Arms arms)) }
+    runner
+
+let one_ok results =
+  match results with
+  | [ ({ r_payload = Ok p; _ } : Fleet.Pool.result) ] -> p
+  | [ { r_payload = Error f; _ } ] ->
+      Alcotest.failf "task must survive the fault, got %s"
+        (Fleet.Pool.failure_to_string f)
+  | rs -> Alcotest.failf "expected one result, got %d" (List.length rs)
+
+let chaos_corrupt_reply_recovers () =
+  let bad0 = counter "fleet.frames_corrupt" in
+  let t =
+    chaos_pool [ (Robust.Chaos.Corrupt_reply, 1) ]
+      (fun ~attempt:_ ~key:_ -> fun task -> task ^ "!")
+  in
+  Fleet.Pool.submit t ~key:"k" ~task:"v" ();
+  let results = Fleet.Pool.drain t in
+  Fleet.Pool.shutdown t;
+  Alcotest.(check string) "re-dispatch grades the same" "v!"
+    (one_ok results);
+  Alcotest.(check bool) "corrupt frame detected and counted" true
+    (counter "fleet.frames_corrupt" > bad0)
+
+let chaos_corrupt_dispatch_nacked () =
+  let nack0 = counter "fleet.frames_nacked" in
+  let kill0 = counter "fleet.worker_deaths" in
+  let t =
+    chaos_pool [ (Robust.Chaos.Corrupt_dispatch, 1) ]
+      (fun ~attempt ~key:_ ->
+        fun task -> Printf.sprintf "%s@%d" task attempt)
+  in
+  Fleet.Pool.submit t ~key:"k" ~task:"v" ();
+  let results = Fleet.Pool.drain t in
+  Fleet.Pool.shutdown t;
+  (* the worker detects the damaged frame, nacks, and the re-send does
+     not charge an attempt — the run still sees attempt 1 *)
+  Alcotest.(check string) "re-sent frame runs as attempt 1" "v@1"
+    (one_ok results);
+  Alcotest.(check bool) "nack counted" true
+    (counter "fleet.frames_nacked" > nack0);
+  Alcotest.(check int) "no worker died for a bad dispatch frame" kill0
+    (counter "fleet.worker_deaths")
+
+let chaos_drop_reply_watchdog_recovers () =
+  let t =
+    chaos_pool ~task_timeout:0.3
+      [ (Robust.Chaos.Drop_reply, 1) ]
+      (fun ~attempt ~key:_ ->
+        fun task -> Printf.sprintf "%s@%d" task attempt)
+  in
+  Fleet.Pool.submit t ~key:"k" ~task:"v" ();
+  let results = Fleet.Pool.drain t in
+  Fleet.Pool.shutdown t;
+  (* the dropped reply looks like a hang; the watchdog reclaims the
+     slot and the re-dispatch (attempt 2) answers *)
+  Alcotest.(check string) "watchdog re-dispatch answers" "v@2"
+    (one_ok results)
+
+let chaos_worker_stall_watchdog_recovers () =
+  let kills0 = counter "fleet.watchdog_kills" in
+  let t =
+    chaos_pool ~task_timeout:0.3
+      [ (Robust.Chaos.Worker_stall, 1) ]
+      (fun ~attempt ~key:_ ->
+        fun task -> Printf.sprintf "%s@%d" task attempt)
+  in
+  Fleet.Pool.submit t ~key:"k" ~task:"v" ();
+  let results = Fleet.Pool.drain t in
+  Fleet.Pool.shutdown t;
+  Alcotest.(check string) "stalled worker killed, re-dispatch answers"
+    "v@2" (one_ok results);
+  Alcotest.(check bool) "watchdog fired on the stall" true
+    (counter "fleet.watchdog_kills" > kills0)
+
+(* ---------------- circuit breaker / deadlines ---------------- *)
+
+let breaker_quarantines_dying_slots () =
+  let t =
+    Fleet.Pool.create
+      ~config:
+        { Fleet.Pool.default_config with
+          workers = 2; respawns = 10; breaker = Some 2 }
+      (fun ~attempt:_ ~key:_ -> fun _task -> Unix._exit 9)
+  in
+  for i = 0 to 5 do
+    Fleet.Pool.submit t ~key:(Printf.sprintf "d%d" i) ~task:"x" ()
+  done;
+  let results = Fleet.Pool.drain t in
+  Fleet.Pool.shutdown t;
+  Alcotest.(check int) "every task settled" 6 (List.length results);
+  (* two consecutive deaths trip the breaker before the 10-respawn
+     budget is anywhere near spent; once every slot is quarantined the
+     rest of the queue fails fast instead of deadlocking *)
+  Alcotest.(check int) "both slots quarantined" 2
+    (Fleet.Pool.quarantined_workers t);
+  List.iter
+    (fun (r : Fleet.Pool.result) ->
+       match r.r_payload with
+       | Error (Fleet.Pool.Worker_lost _ | Fleet.Pool.Quarantined) -> ()
+       | Error f ->
+           Alcotest.failf "%s: unexpected failure %s" r.r_key
+             (Fleet.Pool.failure_to_string f)
+       | Ok _ -> Alcotest.failf "%s cannot succeed" r.r_key)
+    results
+
+let deadline_expires_in_queue () =
+  let exp0 = counter "fleet.tasks_expired" in
+  let t =
+    Fleet.Pool.create ~config:(echo_config 1) (fun ~attempt:_ ~key:_ ->
+        fun task -> ignore (Unix.select [] [] [] 0.3); task)
+  in
+  Fleet.Pool.submit t ~key:"head" ~task:"a" ();
+  Fleet.Pool.submit t
+    ~deadline:(Unix.gettimeofday () +. 0.05)
+    ~key:"late" ~task:"b" ();
+  let results = Fleet.Pool.drain t in
+  Fleet.Pool.shutdown t;
+  let find k =
+    (List.find (fun (r : Fleet.Pool.result) -> r.r_key = k) results)
+      .r_payload
+  in
+  Alcotest.(check bool) "head task unaffected" true (find "head" = Ok "a");
+  (match find "late" with
+   | Error Fleet.Pool.Expired -> ()
+   | Error f ->
+       Alcotest.failf "late: expected Expired, got %s"
+         (Fleet.Pool.failure_to_string f)
+   | Ok _ -> Alcotest.fail "a queue-expired task cannot run");
+  Alcotest.(check bool) "expiry counted" true
+    (counter "fleet.tasks_expired" > exp0)
+
+(* ---------------- merge: multi-shard last-wins / all-orphan -------- *)
+
+let merge_same_key_multi_shard () =
+  let fp = Robust.Journal.fingerprint [ "merge"; "multi" ] in
+  let tmp suffix = Filename.temp_file "fleet_merge" suffix in
+  let shards = [ tmp ".w0"; tmp ".w1"; tmp ".w2" ] in
+  let out = tmp ".jsonl" and expect = tmp ".expect" in
+  let write path records =
+    Sys.remove path;
+    let w = Robust.Journal.open_writer ~fingerprint:fp path in
+    List.iter (fun (key, payload) -> Robust.Journal.append w ~key ~payload)
+      records;
+    Robust.Journal.close_writer w
+  in
+  (* the same key graded on three shards (a cell re-dispatched across
+     worker deaths lands wherever it last ran): the last source in the
+     merge order wins, deterministically *)
+  List.iteri
+    (fun i s -> write s [ ("k", Printf.sprintf "{\"from\":%d}" i) ])
+    shards;
+  Sys.remove out;
+  let report =
+    Fleet.Merge.run ~fingerprint:fp ~order:[ "k" ] ~sources:shards ~out ()
+  in
+  Alcotest.(check int) "one canonical record" 1 report.written;
+  write expect [ ("k", "{\"from\":2}") ];
+  Alcotest.(check string) "last shard's grading wins, byte-identically"
+    (read_file expect) (read_file out);
+  List.iter Sys.remove (out :: expect :: shards)
+
+let merge_all_orphans () =
+  let fp = Robust.Journal.fingerprint [ "merge"; "orphan" ] in
+  let tmp suffix = Filename.temp_file "fleet_merge" suffix in
+  let s1 = tmp ".w0" and s2 = tmp ".w1" and out = tmp ".jsonl" in
+  let write path records =
+    Sys.remove path;
+    let w = Robust.Journal.open_writer ~fingerprint:fp path in
+    List.iter (fun (key, payload) -> Robust.Journal.append w ~key ~payload)
+      records;
+    Robust.Journal.close_writer w
+  in
+  (* every shard key is outside the canonical order (stale shards from
+     an older grid): merge must write a valid empty journal, not crash
+     and not leak the orphans through *)
+  write s1 [ ("stale1", "{\"n\":1}") ];
+  write s2 [ ("stale2", "{\"n\":2}"); ("stale3", "{\"n\":3}") ];
+  Sys.remove out;
+  let report =
+    Fleet.Merge.run ~fingerprint:fp ~order:[ "a"; "b" ] ~sources:[ s1; s2 ]
+      ~out ()
+  in
+  Alcotest.(check int) "nothing canonical to write" 0 report.written;
+  Alcotest.(check int) "every record an orphan" 3 report.orphans;
+  let l = Robust.Journal.load ~fingerprint:fp out in
+  Alcotest.(check int) "merged journal is empty but well-formed" 0 l.valid;
+  Alcotest.(check int) "and undamaged" 0 (l.corrupt + l.truncated);
+  List.iter Sys.remove [ s1; s2; out ]
+
+(* ---------------- journal fingerprint peek ---------------- *)
+
+let journal_peek_fingerprint () =
+  let fp = Robust.Journal.fingerprint [ "peek"; "test" ] in
+  let path = Filename.temp_file "fleet_peek" ".jsonl" in
+  Sys.remove path;
+  Alcotest.(check (option string)) "missing file peeks None" None
+    (Robust.Journal.peek_fingerprint path);
+  let w = Robust.Journal.open_writer ~fingerprint:fp path in
+  Robust.Journal.append w ~key:"k" ~payload:"{\"n\":1}";
+  Robust.Journal.close_writer w;
+  Alcotest.(check (option string)) "stamped fingerprint surfaces"
+    (Some fp)
+    (Robust.Journal.peek_fingerprint path);
+  let oc = open_out path in
+  output_string oc "not a journal line\n";
+  close_out oc;
+  Alcotest.(check (option string)) "garbage peeks None" None
+    (Robust.Journal.peek_fingerprint path);
+  Sys.remove path
+
+(* ---------------- durable serve queue ---------------- *)
+
+let serve_queue_mismatch_refused () =
+  let socket = temp_socket () in
+  let path = Filename.temp_file "fleet_queue" ".jsonl" in
+  Sys.remove path;
+  let w = Robust.Journal.open_writer ~fingerprint:"other-config" path in
+  Robust.Journal.append w ~key:"k"
+    ~payload:"{\"phase\":\"acc\",\"req\":\"{}\"}";
+  Robust.Journal.close_writer w;
+  let cfg which force =
+    { (Fleet.Serve.default_config ~socket) with
+      queue_journal = Some path; run_fingerprint = which; force }
+  in
+  (match Fleet.Serve.load_queue_journal (cfg "this-config" false) with
+   | exception Fleet.Serve.Journal_mismatch { path = p; found; expected } ->
+       Alcotest.(check string) "names the journal" path p;
+       Alcotest.(check string) "found fingerprint" "other-config" found;
+       Alcotest.(check string) "expected fingerprint" "this-config" expected
+   | _ ->
+       Alcotest.fail
+         "a queue journal from another configuration must be refused");
+  (* --force reopens it; the incompatible records are just skipped *)
+  (match Fleet.Serve.load_queue_journal (cfg "this-config" true) with
+   | Some w, dones, accs ->
+       Robust.Journal.close_writer w;
+       Alcotest.(check int) "no done replays cross the fingerprint" 0
+         (List.length dones);
+       Alcotest.(check int) "no accepted requests either" 0
+         (List.length accs)
+   | None, _, _ -> Alcotest.fail "--force must still open the journal");
+  Sys.remove path
+
+(* kill the daemon after one graded request, warm-restart it from the
+   queue journal, resubmit under the same idempotency key: the client
+   gets the journaled response byte-for-byte and the journal holds
+   exactly one grading for the key *)
+let serve_durable_exactly_once () =
+  let socket = temp_socket () in
+  let queue = Filename.temp_file "fleet_queue" ".jsonl" in
+  Sys.remove queue;
+  let fork_daemon () =
+    match Unix.fork () with
+    | 0 -> (
+        try
+          Engines.Service.serve ~workers:1 ~queue_journal:queue ~socket ();
+          Unix._exit 0
+        with _ -> Unix._exit 1)
+    | pid -> pid
+  in
+  let await () =
+    let rec go tries =
+      if tries = 0 then Alcotest.fail "daemon never answered a ping"
+      else
+        match Engines.Service.ping ~socket () with
+        | Some _ -> ()
+        | None ->
+            ignore (Unix.select [] [] [] 0.05);
+            go (tries - 1)
+    in
+    go 400
+  in
+  let request =
+    Engines.Service.encode_request ~id:"once/Bap/time_bomb"
+      ~tool:Engines.Profile.Bap ~bomb:"time_bomb" ()
+  in
+  let submit_one () =
+    let final = ref None in
+    let r =
+      Engines.Service.submit_resilient ~socket ~sessions:4
+        ~on_line:(fun l ->
+          if Engines.Service.status_of_line l = Some "done" then
+            final := Some l)
+        [ ("once/Bap/time_bomb", request) ]
+    in
+    Alcotest.(check int) "request answered" 1 r.Engines.Service.sr_answered;
+    match !final with
+    | Some l -> l
+    | None -> Alcotest.fail "no done line streamed"
+  in
+  let pid = fork_daemon () in
+  let cleanup = ref (fun () -> ()) in
+  (cleanup :=
+     fun () ->
+       (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+       (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()));
+  Fun.protect
+    ~finally:(fun () ->
+      !cleanup ();
+      if Sys.file_exists socket then Sys.remove socket;
+      if Sys.file_exists queue then Sys.remove queue)
+  @@ fun () ->
+  await ();
+  let resp1 = submit_one () in
+  (* SIGKILL: no drain, no cleanup — the journal is all that survives *)
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  Sys.remove socket;
+  let pid2 = fork_daemon () in
+  (cleanup :=
+     fun () ->
+       (try Unix.kill pid2 Sys.sigkill with Unix.Unix_error _ -> ());
+       (try ignore (Unix.waitpid [] pid2) with Unix.Unix_error _ -> ()));
+  await ();
+  let resp2 = submit_one () in
+  Alcotest.(check string)
+    "resubmission answered verbatim from the journal, not re-graded"
+    resp1 resp2;
+  Engines.Service.drain ~socket ();
+  ignore (Unix.waitpid [] pid2);
+  (cleanup := fun () -> ());
+  let l =
+    Robust.Journal.load ~dedup:false
+      ~fingerprint:(Engines.Service.queue_fingerprint ())
+      queue
+  in
+  let dones =
+    List.filter
+      (fun (e : Robust.Journal.entry) ->
+         match Telemetry.Trace_check.member "phase" e.cell with
+         | Some (Telemetry.Trace_check.Str "done") -> true
+         | _ -> false)
+      l.entries
+  in
+  Alcotest.(check int) "exactly one grading journaled across the crash" 1
+    (List.length dones)
+
 let () =
   Alcotest.run "fleet"
     [ ("pool",
@@ -497,12 +846,31 @@ let () =
          Alcotest.test_case "watchdog kills a stuck worker" `Quick
            pool_watchdog_kills_stuck;
          Alcotest.test_case "cancel fails queued, keeps in-flight" `Quick
-           pool_cancel_fails_queued ]);
+           pool_cancel_fails_queued;
+         Alcotest.test_case "deadline expires in queue" `Quick
+           deadline_expires_in_queue;
+         Alcotest.test_case "breaker quarantines dying slots" `Quick
+           breaker_quarantines_dying_slots ]);
+      ("ipc-chaos",
+       [ Alcotest.test_case "corrupt reply -> kill + re-dispatch" `Quick
+           chaos_corrupt_reply_recovers;
+         Alcotest.test_case "corrupt dispatch -> nack, no charge" `Quick
+           chaos_corrupt_dispatch_nacked;
+         Alcotest.test_case "dropped reply -> watchdog recovery" `Quick
+           chaos_drop_reply_watchdog_recovers;
+         Alcotest.test_case "worker stall -> watchdog recovery" `Quick
+           chaos_worker_stall_watchdog_recovers ]);
       ("merge",
        [ Alcotest.test_case "canonical byte-identity" `Quick
            merge_canonical_bytes;
          Alcotest.test_case "torn shard tail heals" `Quick
-           merge_heals_torn_tail ]);
+           merge_heals_torn_tail;
+         Alcotest.test_case "same key on three shards: last wins" `Quick
+           merge_same_key_multi_shard;
+         Alcotest.test_case "all-orphan shard set" `Quick
+           merge_all_orphans;
+         Alcotest.test_case "journal fingerprint peek" `Quick
+           journal_peek_fingerprint ]);
       ("determinism",
        [ Alcotest.test_case "1/2/4 workers = sequential table" `Quick
            fleet_matches_sequential;
@@ -513,4 +881,8 @@ let () =
       ("serve",
        [ Alcotest.test_case "stale/live socket refused" `Quick
            stale_socket_detected;
-         Alcotest.test_case "daemon round trip" `Quick serve_round_trip ]) ]
+         Alcotest.test_case "daemon round trip" `Quick serve_round_trip;
+         Alcotest.test_case "queue fingerprint mismatch refused" `Quick
+           serve_queue_mismatch_refused;
+         Alcotest.test_case "crash + warm restart = exactly once" `Quick
+           serve_durable_exactly_once ]) ]

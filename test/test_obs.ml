@@ -217,8 +217,8 @@ let sigkill_snapshot_survives () =
             "unreachable"
           end)
   in
-  Fleet.Pool.submit t ~key:"bump" ~task:"x";
-  Fleet.Pool.submit t ~key:"hang" ~task:"x";
+  Fleet.Pool.submit t ~key:"bump" ~task:"x" ();
+  Fleet.Pool.submit t ~key:"hang" ~task:"x" ();
   let results = Fleet.Pool.drain t in
   let agg = Fleet.Pool.metrics_snapshot t in
   Fleet.Pool.shutdown t;
@@ -245,7 +245,7 @@ let shutdown_flush_collects_final_snapshot () =
           task)
   in
   for i = 0 to 9 do
-    Fleet.Pool.submit t ~key:(Printf.sprintf "k%d" i) ~task:"x"
+    Fleet.Pool.submit t ~key:(Printf.sprintf "k%d" i) ~task:"x" ()
   done;
   ignore (Fleet.Pool.drain t);
   Fleet.Pool.shutdown t;
