@@ -905,6 +905,140 @@ let serve_report () =
     !shed overload_n shed_rate !retry_hint !done_;
   print_endline "wrote BENCH_serve.json"
 
+(* --- storage durability: sync-policy overhead per append, fsck
+   verify throughput, repair success rate by injected fault class --- *)
+let disk_report () =
+  let rm p = try Sys.remove p with Sys_error _ -> () in
+  let record i =
+    let body =
+      Printf.sprintf
+        "{\"fp\":\"bench\",\"seq\":%d,\"key\":\"cell%03d\",\"cell\":\
+         {\"grade\":\"ok\",\"pad\":\"%s\"}}"
+        i i (String.make 40 'x')
+    in
+    Robust.Diskio.fnv64_hex body ^ " " ^ body ^ "\n"
+  in
+  (* 1. what each sync policy costs per journal append *)
+  let appends = 500 in
+  let policy_us (name, policy) =
+    let path = "bench_diskio.jsonl" in
+    rm path;
+    let h = Robust.Diskio.open_append ~sync:policy path in
+    let t0 = Unix.gettimeofday () in
+    for i = 0 to appends - 1 do
+      Robust.Diskio.append h (record i)
+    done;
+    Robust.Diskio.close h;
+    let us = (Unix.gettimeofday () -. t0) *. 1e6 /. float_of_int appends in
+    rm path;
+    (name, us)
+  in
+  let policies =
+    List.map policy_us [ ("none", `None); ("flush", `Flush); ("fsync", `Fsync) ]
+  in
+  (* 2. fsck verify throughput over a large clean journal *)
+  let n = 5000 in
+  let fsck_path = "bench_fsck.jsonl" in
+  rm fsck_path;
+  let h = Robust.Diskio.open_append ~sync:`None fsck_path in
+  for i = 0 to n - 1 do
+    Robust.Diskio.append h (record i)
+  done;
+  Robust.Diskio.close h;
+  let bytes = (Unix.stat fsck_path).Unix.st_size in
+  let t0 = Unix.gettimeofday () in
+  let reports = Engines.Fsck.scan [ fsck_path ] in
+  let fsck_wall = Unix.gettimeofday () -. t0 in
+  if Engines.Fsck.exit_code ~repair:false reports <> 0 then
+    Printf.printf "  WARNING: clean bench journal did not verify clean\n%!";
+  rm fsck_path;
+  (* 3. repair success rate per fault class: damage a journal write
+     sequence with one exactly-placed fault, fsck --repair it, and
+     require the survivor to verify clean *)
+  let hits = [ 1; 5; 14; 29 ] in
+  let repair_trial fault hit =
+    let path = "bench_repair.jsonl" in
+    rm path;
+    rm (path ^ ".tmp");
+    let st =
+      Robust.Chaos.disk_state ~seed:77L
+        (Robust.Chaos.Disk_arms [ (fault, hit) ])
+    in
+    Robust.Diskio.set_fault_hook (Some (Robust.Chaos.disk_hook st));
+    (match fault with
+     | Robust.Chaos.Failed_rename ->
+       (try Robust.Diskio.write_atomic ~path (record 0)
+        with Sys_error _ -> ())
+     | _ ->
+       let h = Robust.Diskio.open_append path in
+       for i = 0 to 29 do
+         try Robust.Diskio.append h (record i)
+         with Robust.Diskio.Full _ -> ()
+       done;
+       (try Robust.Diskio.close h with Robust.Diskio.Full _ -> ()));
+    Robust.Diskio.set_fault_hook None;
+    let targets =
+      List.filter Sys.file_exists [ path; path ^ ".tmp" ]
+    in
+    ignore (Engines.Fsck.scan ~repair:true targets : Engines.Fsck.report list);
+    let verify =
+      Engines.Fsck.scan (List.filter Sys.file_exists [ path; path ^ ".tmp" ])
+    in
+    let clean = Engines.Fsck.exit_code ~repair:false verify = 0 in
+    rm path;
+    rm (path ^ ".tmp");
+    clean
+  in
+  let repair =
+    List.map
+      (fun fault ->
+         let ok =
+           List.length (List.filter (repair_trial fault) hits)
+         in
+         (Robust.Chaos.disk_point_name fault, List.length hits, ok))
+      Robust.Chaos.all_disk_points
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"sync_policy_us_per_append\": {%s},\n\
+      \  \"fsck_verify\": {\"records\": %d, \"bytes\": %d, \"wall_s\": \
+       %.4f, \"records_per_s\": %.0f, \"mb_per_s\": %.1f},\n\
+      \  \"repair_by_fault\": [\n%s\n  ]\n\
+       }\n"
+      (String.concat ", "
+         (List.map (fun (n, us) -> Printf.sprintf "\"%s\": %.2f" n us)
+            policies))
+      n bytes fsck_wall
+      (float_of_int n /. fsck_wall)
+      (float_of_int bytes /. 1048576. /. fsck_wall)
+      (String.concat ",\n"
+         (List.map
+            (fun (name, trials, ok) ->
+               Printf.sprintf
+                 "    {\"fault\": \"%s\", \"trials\": %d, \"repaired\": \
+                  %d, \"success_rate\": %.2f}"
+                 name trials ok
+                 (float_of_int ok /. float_of_int trials))
+            repair))
+  in
+  let oc = open_out "BENCH_disk.json" in
+  output_string oc json;
+  close_out oc;
+  List.iter
+    (fun (name, us) ->
+       Printf.printf "diskio append (%-5s): %8.2f us/append\n" name us)
+    policies;
+  Printf.printf "fsck verify: %d records (%d bytes) in %.3fs = %.0f rec/s\n"
+    n bytes fsck_wall
+    (float_of_int n /. fsck_wall);
+  List.iter
+    (fun (name, trials, ok) ->
+       Printf.printf "repair %-13s: %d/%d trials recovered clean\n" name ok
+         trials)
+    repair;
+  print_endline "wrote BENCH_disk.json"
+
 let () =
   (* `bench --solver-report` / `--robust-report` / `--trace-report`
      skip the Bechamel timing loop and only regenerate the
@@ -931,6 +1065,10 @@ let () =
   end;
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "--serve-report" then begin
     serve_report ();
+    exit 0
+  end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "--disk-report" then begin
+    disk_report ();
     exit 0
   end;
   let cfg = Benchmark.cfg ~limit:6 ~quota:(Time.second 1.5) () in

@@ -51,16 +51,16 @@ let write_metrics_out path =
     String.length name >= String.length p
     && String.sub name 0 (String.length p) = p
   in
-  let oc = open_out path in
+  let buf = Buffer.create 512 in
   List.iter
     (fun (name, reading) ->
        match reading with
        | Telemetry.Metrics.Vcounter v
          when v > 0 && List.exists (has_prefix name) metric_prefixes ->
-         Printf.fprintf oc "%s %d\n" name v
+         Buffer.add_string buf (Printf.sprintf "%s %d\n" name v)
        | _ -> ())
     (Telemetry.Metrics.snapshot ());
-  close_out oc
+  Robust.Diskio.write_atomic ~path (Buffer.contents buf)
 
 let run_table2_common ~require_journal ?(force = false) no_incremental
     no_ladder budget_spec retries backoff tools_filter bombs_filter journal
@@ -113,6 +113,19 @@ let run_table2_common ~require_journal ?(force = false) no_incremental
             re-grade every cell\n"
            (if require_journal then "resume" else "table2")
            path found expected;
+         exit 2
+       | None
+         when require_journal && not force && Sys.file_exists path
+              && (try (Unix.stat path).Unix.st_size > 0
+                  with Unix.Unix_error _ -> false) ->
+         (* a nonempty journal with zero decodable records is damage,
+            not a fresh run: refuse with one line instead of silently
+            re-grading the whole grid *)
+         Printf.eprintf
+           "resume: journal %s holds no decodable records — corrupt or \
+            not a journal; run `eval fsck --repair %s`, or pass --force \
+            to re-grade every cell\n"
+           path path;
          exit 2
        | _ -> ());
       Some
@@ -296,9 +309,15 @@ let run_profile path top =
   end;
   match Engines.Cellprof.load path with
   | [] ->
-    Printf.eprintf "profile: %s holds no decodable samples\n" path;
+    Printf.eprintf
+      "profile: %s holds no decodable samples — corrupt or not a \
+       profile sidecar; run `eval fsck %s`\n"
+      path path;
     exit 2
   | samples -> print_string (Engines.Cellprof.render_report ~top samples)
+  | exception Sys_error msg ->
+    Printf.eprintf "profile: %s\n" msg;
+    exit 2
 
 let run_drain socket =
   match Engines.Service.drain ~socket ~on_line:print_endline () with
@@ -352,8 +371,8 @@ let run_table1 () = print_string (Engines.Eval.render_table1 ())
 (* chaos: seeded fault-injection soak over supervised cells.  The
    seed comes from --seed, else ROBUST_CHAOS_SEED, else a fixed
    default so bare runs are reproducible *)
-let run_chaos no_incremental seed plans serve rate tools_filter bombs_filter
-    verbose =
+let run_chaos no_incremental seed plans serve disk rate workers tools_filter
+    bombs_filter verbose =
   let seed =
     match seed with
     | Some s -> s
@@ -377,6 +396,25 @@ let run_chaos no_incremental seed plans serve rate tools_filter bombs_filter
     | [] -> Engines.Supervisor.default_soak_bombs
     | names -> names
   in
+  if disk then begin
+    if serve then begin
+      Printf.eprintf "chaos: --disk and --serve are mutually exclusive\n";
+      exit 2
+    end;
+    (* storage-fault soak: journaled fleet grid under seeded disk
+       faults (ENOSPC, short writes, bit flips, torn fsyncs, failed
+       renames), then fsck --repair + resume + canonical merge must
+       reconstruct a byte-identical table and journal *)
+    let report =
+      Engines.Disk_soak.run ~plans ~seed ~rate ~workers ~tools ~bombs ()
+    in
+    print_string (Engines.Disk_soak.render report);
+    if not (Engines.Disk_soak.ok report) then begin
+      Printf.eprintf "chaos: disk soak containment FAILED\n";
+      exit 1
+    end;
+    exit 0
+  end;
   if serve then begin
     (* service-plane soak: live daemon under seeded IPC chaos plus a
        mid-stream SIGKILL + warm restart; exactly-once grading and a
@@ -502,7 +540,20 @@ let run_debug bomb_name input trace_dir =
     Printf.eprintf "unknown bomb %S (see `eval sizes` for the catalog)\n"
       bomb_name;
     exit 2
-  | Some bomb -> Engines.Debug.run ?input bomb
+  | Some bomb -> (
+      try Engines.Debug.run ?input bomb
+      with Trace.Store.Corrupt msg ->
+        Printf.eprintf
+          "debug: trace store is corrupt (%s) — run `eval fsck --repair` \
+           on the store file, or remove it to re-record\n"
+          msg;
+        exit 2)
+
+(* fsck: verify (and with --repair, fix) on-disk artifacts *)
+let run_fsck repair paths =
+  let reports = Engines.Fsck.scan ~repair paths in
+  if reports <> [] then print_endline (Engines.Fsck.render reports);
+  exit (Engines.Fsck.exit_code ~repair reports)
 
 (* validate-trace: independent structural check of emitted files *)
 let run_validate_trace files =
@@ -847,12 +898,32 @@ let chaos_cmd =
               graded exactly once and the merged outcome journal is \
               byte-identical to a fault-free baseline")
   in
+  let disk_arg =
+    Arg.(value & flag
+         & info [ "disk" ]
+           ~doc:
+             "Soak the storage layer instead of single cells: run a \
+              journaled fleet grid under seeded disk faults (ENOSPC, \
+              short writes, bit flips, lying fsyncs, failed renames) \
+              injected at every durable-IO append, sync and rename; \
+              then fsck --repair, resume and canonically merge the \
+              survivors; fails unless the recovered table and journal \
+              are byte-identical to a fault-free baseline and every \
+              fired fault is accounted in robust.disk_injected.*")
+  in
   let rate_arg =
     Arg.(value & opt float 0.05
          & info [ "rate" ] ~docv:"P"
            ~doc:
-             "With --serve: per-opportunity IPC fault probability for \
-              each armed fault class")
+             "With --serve/--disk: per-opportunity fault probability \
+              for each armed fault class")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2
+         & info [ "workers" ] ~docv:"N"
+           ~doc:
+             "With --disk: fleet width of the chaos-phase grid (1 = \
+              sequential)")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -862,9 +933,12 @@ let chaos_cmd =
           injected fault is contained to its cell (exit 1 otherwise). \
           With --serve, soak the whole service plane — daemon, durable \
           queue, IPC, client — under seeded faults and a mid-stream \
-          daemon kill.")
+          daemon kill. With --disk, soak the storage layer: journaled \
+          runs under injected disk faults must recover byte-identical \
+          via fsck --repair + resume.")
     Term.(const run_chaos $ no_incremental_arg $ seed_arg $ plans_arg
-          $ serve_arg $ rate_arg $ tools_arg $ bombs_arg $ verbose_arg)
+          $ serve_arg $ disk_arg $ rate_arg $ workers_arg $ tools_arg
+          $ bombs_arg $ verbose_arg)
 
 let table1_cmd =
   Cmd.v (Cmd.info "table1" ~doc:"Reproduce Table I")
@@ -892,6 +966,34 @@ let debug_cmd =
           address/syscall/taint event, and query taint provenance \
           (reads commands from stdin; try `help`)")
     Term.(const run_debug $ bomb_arg $ input_arg $ trace_dir_arg)
+
+let fsck_cmd =
+  let repair_arg =
+    Arg.(value & flag
+         & info [ "repair" ]
+           ~doc:
+             "Fix what can be fixed: rewrite journals and shards \
+              keeping only sound records, truncate torn tails, \
+              quarantine corrupt trace stores (renamed to *.corrupt; \
+              the next run re-records), and remove stale *.tmp files")
+  in
+  let paths_arg =
+    Arg.(non_empty & pos_all string []
+         & info [] ~docv:"PATH"
+           ~doc:
+             "Artifacts to check — journals, trace stores, span/profile \
+              shards, or directories (scanned recursively)")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Verify on-disk artifacts: detect each file's format, walk \
+          its per-record checksums, flag torn tails, corrupt records, \
+          orphaned worker shards and stale tmp files, and report \
+          journal fingerprints. Exit 0 if everything is clean, 1 if \
+          damage was found and fully repaired (--repair), 2 if damage \
+          remains.")
+    Term.(const run_fsck $ repair_arg $ paths_arg)
 
 let sizes_cmd =
   Cmd.v (Cmd.info "sizes" ~doc:"Dataset binary-size statistics (§V-A)")
@@ -980,4 +1082,4 @@ let () =
                       sizes_cmd; negative_cmd; validate_trace_cmd;
                       chaos_cmd; debug_cmd; serve_cmd; submit_cmd;
                       drain_cmd; health_cmd; metrics_cmd; profile_cmd;
-                      all_cmd ]))
+                      fsck_cmd; all_cmd ]))

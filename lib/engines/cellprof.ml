@@ -162,12 +162,15 @@ let decode line : sample option =
       | _ -> None)
 
 (** Append one sample to the sidecar (one JSON object per line,
-    append-only — same torn-tail discipline as the span shards). *)
+    append-only — same torn-tail discipline as the span shards).
+    Profiles are observability, not results: a full disk sheds the
+    sample instead of failing the cell. *)
 let append ~path (s : sample) =
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  output_string oc (encode s);
-  output_char oc '\n';
-  close_out oc
+  try
+    let h = Robust.Diskio.open_append path in
+    Robust.Diskio.append h (encode s ^ "\n");
+    Robust.Diskio.close h
+  with Robust.Diskio.Full _ -> ()
 
 (** Load a sidecar: last sample wins per key (a resumed run re-appends
     the cells it re-executed); undecodable lines are skipped. *)
@@ -209,11 +212,10 @@ let merge_shards ~path ~(order : string list) () =
   if Sys.file_exists path then eat path;
   let shards = existing_shards ~path in
   List.iter eat shards;
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let buf = Buffer.create 4096 in
   let emit s =
-    output_string oc (encode s);
-    output_char oc '\n'
+    Buffer.add_string buf (encode s);
+    Buffer.add_char buf '\n'
   in
   List.iter
     (fun key ->
@@ -227,8 +229,7 @@ let merge_shards ~path ~(order : string list) () =
   Hashtbl.fold (fun _ s acc -> s :: acc) tbl []
   |> List.sort (fun a b -> compare a.p_key b.p_key)
   |> List.iter emit;
-  close_out oc;
-  Sys.rename tmp path;
+  Robust.Diskio.write_atomic ~path (Buffer.contents buf);
   List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) shards
 
 (* ------------------------------------------------------------------ *)

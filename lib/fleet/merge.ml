@@ -74,6 +74,6 @@ let run ~fingerprint ~(order : string list) ~(sources : string list)
       Telemetry.Metrics.incr m_orphans
     done
   end;
-  Sys.rename tmp out;
+  Robust.Diskio.rename ~src:tmp ~dst:out;
   { written = !written; sources_read = !sources_read; damaged = !damaged;
     orphans }

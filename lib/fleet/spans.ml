@@ -32,17 +32,16 @@ let remove_shards ~base =
 let flush_shard ~base ~slot =
   (match Telemetry.finished_spans () with
    | [] -> ()
-   | spans ->
-       let oc =
-         open_out_gen [ Open_append; Open_creat ] 0o644
-           (shard_path ~base slot)
-       in
-       List.iter
-         (fun s ->
-            output_string oc (Telemetry.span_jsonl s);
-            output_char oc '\n')
-         spans;
-       close_out oc);
+   | spans -> (
+       try
+         let h = Robust.Diskio.open_append (shard_path ~base slot) in
+         List.iter
+           (fun s -> Robust.Diskio.append h (Telemetry.span_jsonl s ^ "\n"))
+           spans;
+         Robust.Diskio.close h
+       with Robust.Diskio.Full _ ->
+         (* spans are observability, not results: shed this batch *)
+         ()));
   Telemetry.reset ()
 
 (* ------------------------------------------------------------------ *)
@@ -134,11 +133,7 @@ let merge_chrome ~base ~out () : merge_report =
          (read_lines path))
     shards;
   Buffer.add_string buf "\n], \"displayTimeUnit\": \"ms\"}\n";
-  let tmp = out ^ ".tmp" in
-  let oc = open_out tmp in
-  Buffer.output_buffer oc buf;
-  close_out oc;
-  Sys.rename tmp out;
+  Robust.Diskio.write_atomic ~path:out (Buffer.contents buf);
   remove_shards ~base;
   { mr_shards = List.length shards; mr_spans = !spans;
     mr_skipped = !skipped }

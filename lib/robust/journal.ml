@@ -19,22 +19,11 @@
     wrong cached grade. *)
 
 (* ------------------------------------------------------------------ *)
-(* FNV-1a 64-bit                                                       *)
+(* FNV-1a 64-bit (the implementation lives with the IO layer)          *)
 (* ------------------------------------------------------------------ *)
 
-let fnv_offset = 0xcbf29ce484222325L
-let fnv_prime = 0x100000001b3L
-
-let fnv64 (s : string) : int64 =
-  let h = ref fnv_offset in
-  String.iter
-    (fun c ->
-       h := Int64.logxor !h (Int64.of_int (Char.code c));
-       h := Int64.mul !h fnv_prime)
-    s;
-  !h
-
-let fnv64_hex s = Printf.sprintf "%016Lx" (fnv64 s)
+let fnv64 = Diskio.fnv64
+let fnv64_hex = Diskio.fnv64_hex
 
 (** Fingerprint a run configuration: hash of the given components in
     order, stable across processes.  Components may be arbitrary
@@ -60,6 +49,7 @@ let m_corrupt = Telemetry.Metrics.counter "journal.corrupt"
 let m_truncated = Telemetry.Metrics.counter "journal.truncated"
 let m_stale = Telemetry.Metrics.counter "journal.stale"
 let m_undecodable = Telemetry.Metrics.counter "journal.undecodable"
+let m_shed = Telemetry.Metrics.counter "journal.shed"
 
 (** The replay layer calls this once per cell answered from the
     journal, so [journal.replayed] counts cells, not parsed lines. *)
@@ -74,9 +64,12 @@ let count_undecodable () = Telemetry.Metrics.incr m_undecodable
 (* ------------------------------------------------------------------ *)
 
 type writer = {
-  oc : out_channel;
+  h : Diskio.handle;
   w_fingerprint : string;
   mutable seq : int;
+  mutable shedding : bool;
+      (** the device refused an append (ENOSPC class); further
+          records are shed instead of crashing the run *)
 }
 
 (* minimal JSON string escaper: every non-printable or non-ASCII byte
@@ -97,42 +90,43 @@ let json_escape (s : string) : string =
 (** Open [path] for appending records under [fingerprint].  [seq] is
     the next sequence number (continue from {!load}'s [next_seq] when
     resuming).  If the file ends in a torn line (crash mid-append),
-    the tail is terminated with a newline first so new records never
-    fuse with the torn bytes. *)
+    {!Diskio.open_append} terminates the tail with a newline first so
+    new records never fuse with the torn bytes. *)
 let open_writer ~fingerprint ?(seq = 0) path : writer =
-  let torn_tail =
-    Sys.file_exists path
-    && (let ic = open_in_bin path in
-        let size = in_channel_length ic in
-        let torn =
-          size > 0
-          && (seek_in ic (size - 1);
-              input_char ic <> '\n')
-        in
-        close_in ic;
-        torn)
-  in
-  let oc =
-    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
-  in
-  if torn_tail then output_char oc '\n';
-  { oc; w_fingerprint = fingerprint; seq }
+  { h = Diskio.open_append path; w_fingerprint = fingerprint; seq;
+    shedding = false }
 
 let body ~fingerprint ~seq ~key ~payload =
   Printf.sprintf "{\"fp\":\"%s\",\"seq\":%d,\"key\":\"%s\",\"cell\":%s}"
     (json_escape fingerprint) seq (json_escape key) payload
 
 (** Append one record ([payload] must be a complete JSON value) and
-    flush: once [append] returns, the record survives a [kill -9]. *)
+    flush: once [append] returns, the record survives a [kill -9].
+
+    ENOSPC degradation: if the device refuses the bytes
+    ({!Diskio.Full}), the writer warns once, counts the record in
+    [journal.shed] and sheds this and every later append instead of
+    crashing the run — a full disk costs resume coverage, never the
+    in-memory results of a grid in flight. *)
 let append (w : writer) ~key ~payload =
-  let b = body ~fingerprint:w.w_fingerprint ~seq:w.seq ~key ~payload in
-  output_string w.oc (fnv64_hex b);
-  output_char w.oc ' ';
-  output_string w.oc b;
-  output_char w.oc '\n';
-  flush w.oc;
-  w.seq <- w.seq + 1;
-  Telemetry.Metrics.incr m_appended
+  if w.shedding then Telemetry.Metrics.incr m_shed
+  else begin
+    let b = body ~fingerprint:w.w_fingerprint ~seq:w.seq ~key ~payload in
+    match Diskio.append w.h (fnv64_hex b ^ " " ^ b ^ "\n") with
+    | () ->
+        w.seq <- w.seq + 1;
+        Telemetry.Metrics.incr m_appended
+    | exception Diskio.Full msg ->
+        w.shedding <- true;
+        Telemetry.Metrics.incr m_shed;
+        Telemetry.Log.warnf
+          "journal: %s; shedding journal writes (results stay in memory; \
+           resume will re-run unjournaled cells)"
+          msg
+  end
+
+(** Whether the writer has started shedding appends (disk full). *)
+let is_shedding (w : writer) = w.shedding
 
 (** Write the prefix of a record and stop mid-line without a trailing
     newline — simulates a crash between [output] and [flush] for the
@@ -142,12 +136,9 @@ let append_torn (w : writer) ~key =
     body ~fingerprint:w.w_fingerprint ~seq:w.seq ~key ~payload:"{\"torn\":"
   in
   let half = String.length b / 2 in
-  output_string w.oc (fnv64_hex b);
-  output_char w.oc ' ';
-  output_string w.oc (String.sub b 0 half);
-  flush w.oc
+  Diskio.append_torn w.h (fnv64_hex b ^ " " ^ String.sub b 0 half)
 
-let close_writer (w : writer) = close_out w.oc
+let close_writer (w : writer) = Diskio.close w.h
 
 (* ------------------------------------------------------------------ *)
 (* Loader                                                              *)
@@ -282,10 +273,8 @@ let peek_fingerprint path : string option =
 let load ?(dedup = true) ~fingerprint path : load_result =
   if not (Sys.file_exists path) then empty_load
   else begin
-    let ic = open_in_bin path in
-    let size = in_channel_length ic in
-    let raw = really_input_string ic size in
-    close_in ic;
+    let raw = Diskio.read_all path in
+    let size = String.length raw in
     (* a well-formed journal ends in '\n'; anything after the final
        newline is a torn tail from a crashed append *)
     let complete, tail =

@@ -10,6 +10,7 @@
 module Budget = Budget
 module Chaos = Chaos
 module Meter = Meter
+module Diskio = Diskio
 module Journal = Journal
 
 exception Exhausted = Meter.Exhausted

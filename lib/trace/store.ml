@@ -693,11 +693,7 @@ let add_trailer buf ~meta_off ~index_off ~taint_off =
   Buffer.add_string buf trailer_magic
 
 let write_atomically path contents =
-  let tmp = path ^ ".tmp" in
-  let oc = open_out_bin tmp in
-  output_string oc contents;
-  close_out oc;
-  Sys.rename tmp path
+  Robust.Diskio.write_atomic ~path contents
 
 (** Seal the store: meta + index + trailer, then an atomic
     tmp-and-rename write so a crash can never leave a torn file under
@@ -770,11 +766,7 @@ let decode_index (payload : string) =
   done;
   (events, samples, checkpoints, pc_post, sys_post, tid_post)
 
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
+let read_file path = Robust.Diskio.read_all path
 
 (** Open and validate a store.  All structural metadata (trailer,
     meta, index) is checked now, and every frame's checksum is

@@ -39,6 +39,7 @@ type t = {
 
 let m_events = Telemetry.Metrics.counter "trace.events"
 let m_truncated = Telemetry.Metrics.counter "trace.truncated"
+let m_store_shed = Telemetry.Metrics.counter "trace.store.shed"
 
 (** Store checkpoint cadence: every [n] root events.  Dense enough
     that a debugger window replays at most a few thousand events,
@@ -131,6 +132,14 @@ let record_fresh ~max_events ~interval ~writer ~(config : Vm.Machine.config)
         | () -> Some w.Store.w_path
         | exception Sys_error msg ->
           Telemetry.Log.warnf "trace store write failed: %s" msg;
+          None
+        | exception Robust.Diskio.Full msg ->
+          (* ENOSPC degradation: the trace itself is intact in memory
+             — keep the Memory backing, skip the cache file *)
+          Telemetry.Metrics.incr m_store_shed;
+          Telemetry.Log.warnf
+            "trace store write failed: %s; falling back to memory backing"
+            msg;
           None)
   in
   { backing = Memory (Array.of_list (List.rev !events));
@@ -446,7 +455,7 @@ let save_taint_hint t (h : Store.taint_hint) =
   | None -> ()
   | Some path -> (
       try Store.save_taint ~path h
-      with Store.Corrupt _ | Sys_error _ -> ())
+      with Store.Corrupt _ | Sys_error _ | Robust.Diskio.Full _ -> ())
 
 (* ------------------------------------------------------------------ *)
 (* Pretty-printing                                                     *)
